@@ -1,0 +1,53 @@
+//! Criterion micro-benchmarks of the compiler passes themselves (wall-clock
+//! cost of the implementation, not simulated pulse latency).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use qcc_core::{cls, frontend, mapping, AggregationOptions, Compiler, CompilerOptions, Strategy};
+use qcc_hw::{CalibratedLatencyModel, Device};
+use qcc_workloads::{ising, qaoa};
+
+fn bench_frontend(c: &mut Criterion) {
+    let circuit = qaoa::maxcut_line(20);
+    c.bench_function("frontend: flatten + diagonal detection (MAXCUT-line-20)", |b| {
+        b.iter(|| frontend::run(&circuit))
+    });
+}
+
+fn bench_cls(c: &mut Criterion) {
+    let circuit = qaoa::maxcut_line(20);
+    let instrs = frontend::run(&circuit);
+    let lat = vec![10.0; instrs.len()];
+    c.bench_function("cls: schedule (MAXCUT-line-20)", |b| {
+        b.iter(|| cls::schedule(&instrs, &lat))
+    });
+}
+
+fn bench_mapping(c: &mut Criterion) {
+    let circuit = ising::ising_chain(30);
+    let instrs = frontend::run(&circuit);
+    let topo = qcc_hw::Topology::near_square_grid(30);
+    c.bench_function("mapping: place + route (Ising-30)", |b| {
+        b.iter(|| mapping::map_and_route(&instrs, circuit.n_qubits(), &topo))
+    });
+}
+
+fn bench_full_pipeline(c: &mut Criterion) {
+    let circuit = qaoa::maxcut_line(20);
+    let device = Device::transmon_grid(20);
+    let model = CalibratedLatencyModel::new(device.limits);
+    let compiler = Compiler::new(device, &model);
+    let options = CompilerOptions {
+        strategy: Strategy::ClsAggregation,
+        aggregation: AggregationOptions::default(),
+    };
+    c.bench_function("pipeline: CLS+Aggregation end-to-end (MAXCUT-line-20)", |b| {
+        b.iter(|| compiler.compile(&circuit, &options))
+    });
+}
+
+criterion_group!(
+    name = passes;
+    config = Criterion::default().sample_size(10);
+    targets = bench_frontend, bench_cls, bench_mapping, bench_full_pipeline
+);
+criterion_main!(passes);

@@ -1,0 +1,45 @@
+//! Figure 11: effect of spatial locality — latency of the three MAXCUT
+//! instances under aggregated compilation, normalized to their post-CLS
+//! latency (lower = aggregation helps more).
+
+use qcc_bench::{banner, latency_for, render_table, scale_from_env};
+use qcc_core::Strategy;
+use qcc_workloads::standard_suite;
+
+fn main() {
+    banner(
+        "Figure 11 — spatial locality vs benefit of aggregation",
+        "Fig. 11 and §6.3",
+    );
+    let suite = standard_suite(scale_from_env(), 2019);
+    let instances = ["MAXCUT-line", "MAXCUT-reg4", "MAXCUT-cluster"];
+    let mut rows = Vec::new();
+    for name in instances {
+        let Some(bench) = suite.iter().find(|b| b.name == name) else {
+            continue;
+        };
+        let cls = latency_for(&bench.circuit, Strategy::Cls, 10);
+        let agg = latency_for(&bench.circuit, Strategy::ClsAggregation, 10);
+        rows.push(vec![
+            name.to_string(),
+            format!("{}", bench.spatial_locality),
+            format!("{cls:.1}"),
+            format!("{agg:.1}"),
+            format!("{:.3}", agg / cls),
+        ]);
+    }
+    println!(
+        "{}",
+        render_table(
+            &[
+                "instance",
+                "spatial locality",
+                "CLS latency (ns)",
+                "CLS+Agg latency (ns)",
+                "normalized (Agg/CLS)"
+            ],
+            &rows
+        )
+    );
+    println!("Expected shape: the lower the spatial locality (more routing SWAPs), the lower the normalized latency — aggregation absorbs SWAP overhead (paper Fig. 11).");
+}

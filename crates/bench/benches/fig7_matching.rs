@@ -1,0 +1,48 @@
+//! Figure 7: maximal-matching based conflict resolution inside the
+//! commutativity-aware scheduler — one round of matching on a six-qubit
+//! computational graph, then the remaining edges in the next round.
+
+use qcc_bench::{banner, render_table};
+use qcc_graph::{matching, Graph};
+
+fn main() {
+    banner(
+        "Figure 7 — maximal matching of the candidate computational graph",
+        "Fig. 7",
+    );
+
+    // Six qubits, candidate two-qubit gates forming a path plus a chord, as in
+    // the figure's sketch.
+    let mut g = Graph::new(6);
+    for (a, b) in [(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (1, 4)] {
+        g.add_edge(a, b, 1.0);
+    }
+    let mut remaining = g.clone();
+    let mut round = 1;
+    let mut rows = Vec::new();
+    while remaining.edge_count() > 0 {
+        let m = matching::improved_matching(&remaining);
+        rows.push(vec![
+            format!("{round}"),
+            format!("{m:?}"),
+            format!("{}", m.len()),
+        ]);
+        // Remove scheduled edges and rebuild the leftover graph.
+        let mut next = Graph::new(6);
+        for (a, b, w) in remaining.edges() {
+            if !m.contains(&(a, b)) && !m.contains(&(b, a)) {
+                next.add_edge(a, b, w);
+            }
+        }
+        remaining = next;
+        round += 1;
+        if round > 10 {
+            break;
+        }
+    }
+    println!(
+        "{}",
+        render_table(&["round", "scheduled gates (matching)", "count"], &rows)
+    );
+    println!("All candidate gates scheduled in {} rounds.", round - 1);
+}

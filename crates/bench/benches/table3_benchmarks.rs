@@ -1,0 +1,38 @@
+//! Table 3: the benchmark suite and its program characteristics.
+
+use qcc_bench::{banner, render_table, scale_from_env};
+use qcc_workloads::standard_suite;
+
+fn main() {
+    banner("Table 3 — benchmark suite", "Table 3");
+    let suite = standard_suite(scale_from_env(), 2019);
+    let rows: Vec<Vec<String>> = suite
+        .iter()
+        .map(|b| {
+            vec![
+                b.name.clone(),
+                b.purpose.clone(),
+                format!("{}", b.n_qubits()),
+                format!("{}", b.gate_count()),
+                format!("{}", b.parallelism),
+                format!("{}", b.spatial_locality),
+                format!("{}", b.commutativity),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            &[
+                "benchmark",
+                "purpose",
+                "qubits",
+                "gates",
+                "parallelism",
+                "locality",
+                "commutativity"
+            ],
+            &rows
+        )
+    );
+}

@@ -1,0 +1,232 @@
+//! The GRAPE-backed latency model and pulse verification.
+//!
+//! This is the "optimal control unit" of the paper's backend (§3.5): given an
+//! aggregated instruction (a list of constituent gates on a handful of
+//! qubits), it builds the target unitary, searches for the shortest pulse that
+//! implements it to a target fidelity, and reports that duration as the
+//! instruction latency. Instructions wider than `max_qubits` fall back to the
+//! analytic calibrated model, matching the paper's observation that numerical
+//! optimal control does not scale past ~10 qubits (§2.5).
+
+use crate::grape::{GrapeConfig, GrapeOptimizer, GrapeResult};
+use crate::hamiltonian::TransmonSystem;
+use parking_lot::Mutex;
+use qcc_hw::{CalibratedLatencyModel, ControlLimits, LatencyModel};
+use qcc_ir::Instruction;
+use qcc_math::{gate_fidelity, CMatrix};
+use std::collections::HashMap;
+
+/// Latency model that runs the GRAPE optimal-control unit for small
+/// instructions and falls back to the calibrated analytic model for larger
+/// ones.
+pub struct GrapeLatencyModel {
+    limits: ControlLimits,
+    grape: GrapeConfig,
+    fallback: CalibratedLatencyModel,
+    /// Widest instruction (in qubits) optimized numerically.
+    max_qubits: usize,
+    /// Bisection rounds in the minimal-time search.
+    refinement_rounds: usize,
+    cache: Mutex<HashMap<String, f64>>,
+}
+
+impl std::fmt::Debug for GrapeLatencyModel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("GrapeLatencyModel")
+            .field("max_qubits", &self.max_qubits)
+            .field("refinement_rounds", &self.refinement_rounds)
+            .finish()
+    }
+}
+
+impl GrapeLatencyModel {
+    /// Creates the model.
+    pub fn new(limits: ControlLimits, grape: GrapeConfig, max_qubits: usize) -> Self {
+        Self {
+            fallback: CalibratedLatencyModel::new(limits),
+            limits,
+            grape,
+            max_qubits,
+            refinement_rounds: 3,
+            cache: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Model with the paper's control limits and a fast GRAPE profile, limited
+    /// to two-qubit instructions (suitable for tests and the Table 1 bench).
+    pub fn fast_two_qubit() -> Self {
+        Self::new(ControlLimits::asplos19(), GrapeConfig::fast(), 2)
+    }
+
+    fn cache_key(constituents: &[Instruction]) -> String {
+        let mut parts: Vec<String> = constituents
+            .iter()
+            .map(|i| format!("{}:{:?}", i.gate, i.qubits))
+            .collect();
+        parts.sort();
+        parts.join(";")
+    }
+
+    /// Builds the target unitary of an instruction list on its (sorted) local
+    /// qubit support, together with that support.
+    pub fn target_unitary(constituents: &[Instruction]) -> (CMatrix, Vec<usize>) {
+        let mut support: Vec<usize> = Vec::new();
+        for inst in constituents {
+            for &q in &inst.qubits {
+                if !support.contains(&q) {
+                    support.push(q);
+                }
+            }
+        }
+        support.sort_unstable();
+        let n = support.len().max(1);
+        let dim = 1usize << n;
+        let mut u = CMatrix::identity(dim);
+        for inst in constituents {
+            let local: Vec<usize> = inst
+                .qubits
+                .iter()
+                .map(|q| support.iter().position(|s| s == q).expect("qubit in support"))
+                .collect();
+            u = inst.gate.matrix().embed(n, &local).matmul(&u);
+        }
+        (u, support)
+    }
+
+    /// Runs the full optimal-control pipeline for one instruction, returning
+    /// the pulse duration and the GRAPE result.
+    pub fn optimize_instruction(&self, constituents: &[Instruction]) -> Option<(f64, GrapeResult)> {
+        let (target, support) = Self::target_unitary(constituents);
+        if support.is_empty() || support.len() > self.max_qubits {
+            return None;
+        }
+        let system = TransmonSystem::fully_coupled(support.len(), self.limits);
+        let optimizer = GrapeOptimizer::new(self.grape.clone());
+        let guess = self.fallback.aggregate_latency(constituents).max(2.0 * self.grape.dt);
+        let (t_best, result) =
+            optimizer.minimize_time(&system, &target, guess, self.refinement_rounds);
+        Some((t_best, result))
+    }
+}
+
+impl LatencyModel for GrapeLatencyModel {
+    fn isa_gate_latency(&self, inst: &Instruction) -> f64 {
+        self.fallback.isa_gate_latency(inst)
+    }
+
+    fn aggregate_latency(&self, constituents: &[Instruction]) -> f64 {
+        let key = Self::cache_key(constituents);
+        if let Some(&t) = self.cache.lock().get(&key) {
+            return t;
+        }
+        let t = match self.optimize_instruction(constituents) {
+            Some((t_best, result)) if result.converged => t_best,
+            _ => self.fallback.aggregate_latency(constituents),
+        };
+        self.cache.lock().insert(key, t);
+        t
+    }
+
+    fn name(&self) -> &'static str {
+        "grape-xy"
+    }
+}
+
+/// Outcome of verifying one pulse against its target unitary (§3.6).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PulseVerification {
+    /// Gate fidelity between the pulse propagator and the target unitary.
+    pub fidelity: f64,
+    /// Whether the fidelity exceeds the verification threshold.
+    pub passed: bool,
+    /// Pulse duration in ns.
+    pub duration_ns: f64,
+}
+
+/// Verifies a GRAPE result against a target unitary by re-simulating the pulse
+/// with the piecewise-constant propagator (the role QuTiP plays in the paper).
+pub fn verify_pulse(
+    system: &TransmonSystem,
+    result: &GrapeResult,
+    target: &CMatrix,
+    threshold: f64,
+) -> PulseVerification {
+    let u = result.pulse.propagator(system);
+    let fidelity = gate_fidelity(&u, target);
+    PulseVerification {
+        fidelity,
+        passed: fidelity >= threshold,
+        duration_ns: result.pulse.duration(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grape::optimize_pulse;
+    use qcc_ir::Gate;
+    use qcc_math::pauli;
+
+    fn inst(gate: Gate, qubits: &[usize]) -> Instruction {
+        Instruction::new(gate, qubits.to_vec())
+    }
+
+    #[test]
+    fn target_unitary_uses_local_support() {
+        let (u, support) = GrapeLatencyModel::target_unitary(&[
+            inst(Gate::Cnot, &[4, 7]),
+            inst(Gate::Rz(0.5), &[7]),
+            inst(Gate::Cnot, &[4, 7]),
+        ]);
+        assert_eq!(support, vec![4, 7]);
+        assert_eq!(u.rows(), 4);
+        assert!(u.approx_eq(&pauli::zz_rotation(0.5), 1e-12));
+    }
+
+    #[test]
+    fn grape_latency_close_to_theoretical_for_x_gate() {
+        let model = GrapeLatencyModel::fast_two_qubit();
+        let t = model.aggregate_latency(&[inst(Gate::X, &[3])]);
+        // A π rotation at the 0.1 GHz drive limit takes 5 ns; the search should
+        // land somewhere in the low single digits (it cannot beat ~5 ns but may
+        // stop early near the guess).
+        assert!(t > 1.0 && t < 12.0, "X-gate pulse duration {t} ns");
+        // Cached second query returns the same value.
+        assert_eq!(t, model.aggregate_latency(&[inst(Gate::X, &[3])]));
+    }
+
+    #[test]
+    fn wide_instructions_fall_back_to_calibrated_model() {
+        let model = GrapeLatencyModel::fast_two_qubit();
+        let constituents = vec![
+            inst(Gate::Cnot, &[0, 1]),
+            inst(Gate::Cnot, &[1, 2]),
+            inst(Gate::Cnot, &[2, 3]),
+        ];
+        let grape_t = model.aggregate_latency(&constituents);
+        let calib = CalibratedLatencyModel::asplos19().aggregate_latency(&constituents);
+        assert!((grape_t - calib).abs() < 1e-9);
+    }
+
+    #[test]
+    fn isa_latency_delegates_to_calibrated_model() {
+        let model = GrapeLatencyModel::fast_two_qubit();
+        let calib = CalibratedLatencyModel::asplos19();
+        let cnot = inst(Gate::Cnot, &[0, 1]);
+        assert!((model.isa_gate_latency(&cnot) - calib.isa_gate_latency(&cnot)).abs() < 1e-12);
+        assert_eq!(model.name(), "grape-xy");
+    }
+
+    #[test]
+    fn pulse_verification_passes_for_converged_result() {
+        let sys = TransmonSystem::new(1, &[], ControlLimits::asplos19());
+        let target = pauli::sigma_x();
+        let result = optimize_pulse(&sys, &target, 8.0, GrapeConfig::fast());
+        let verification = verify_pulse(&sys, &result, &target, 0.98);
+        assert!(verification.passed, "fidelity {}", verification.fidelity);
+        assert!((verification.duration_ns - result.pulse.duration()).abs() < 1e-12);
+        // Verifying against a wrong target fails.
+        let wrong = verify_pulse(&sys, &result, &pauli::sigma_z(), 0.9);
+        assert!(!wrong.passed);
+    }
+}

@@ -1,0 +1,416 @@
+//! Instruction aggregation (§4.1, §4.3).
+//!
+//! After mapping and routing, the compiler grows multi-qubit aggregated
+//! instructions by repeatedly merging *adjacent* instructions (parent/child on
+//! every qubit path they share, with no interposed instruction touching either
+//! side's qubits) when the action is **monotonic** — it does not lengthen the
+//! circuit's critical path — and the latency model predicts a pulse-time
+//! saving. The loop iterates with the latency model (the optimal-control unit
+//! or its calibrated stand-in) until no more profitable monotonic actions
+//! exist, the fixed-point structure the paper describes.
+
+use crate::instr::{AggregateInstruction, InstructionOrigin};
+use crate::schedule::{alap_slacks, asap_schedule};
+use qcc_hw::LatencyModel;
+use serde::{Deserialize, Serialize};
+
+/// Options of the aggregation pass.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AggregationOptions {
+    /// Maximum instruction width in qubits (the paper uses up to 10, bounded by
+    /// the scalability of the optimal-control unit).
+    pub max_width: usize,
+    /// Maximum number of constituent gates per aggregated instruction.
+    pub max_gates: usize,
+    /// Safety cap on the number of merge actions (defaults to "unlimited":
+    /// aggregation naturally stops when no monotonic action remains).
+    pub max_merges: usize,
+    /// Require every merge to strictly reduce the predicted pulse time of the
+    /// pair (in addition to being monotonic).
+    pub require_local_gain: bool,
+    /// How far ahead (in list positions) to look for a merge partner. Partners
+    /// are the *first* later instruction sharing a qubit, which in routed
+    /// programs is almost always nearby; the window bounds the scan cost on
+    /// very large circuits.
+    pub search_window: usize,
+}
+
+impl Default for AggregationOptions {
+    fn default() -> Self {
+        Self {
+            max_width: 10,
+            max_gates: 96,
+            max_merges: usize::MAX,
+            require_local_gain: true,
+            search_window: 64,
+        }
+    }
+}
+
+impl AggregationOptions {
+    /// Options with a specific width limit (used for the Fig. 10 sweep).
+    pub fn with_width(max_width: usize) -> Self {
+        Self {
+            max_width,
+            ..Self::default()
+        }
+    }
+}
+
+/// Statistics reported by the aggregation pass.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub struct AggregationStats {
+    /// Number of merge actions performed.
+    pub merges: usize,
+    /// Number of scan passes executed.
+    pub passes: usize,
+    /// Makespan before aggregation (ns).
+    pub makespan_before: f64,
+    /// Makespan after aggregation (ns).
+    pub makespan_after: f64,
+}
+
+/// Runs the aggregation loop on a routed instruction sequence.
+///
+/// Merging instruction `j` into instruction `i < j` is allowed when
+/// (action space, §4.1):
+/// * they share at least one qubit,
+/// * no instruction between them touches any qubit of either (`i` is the
+///   parent of `j` on every shared path, and moving `j`'s gates up to `i`
+///   only crosses trivially-commuting instructions),
+/// * the union width and gate count respect the configured limits,
+///
+/// and it is performed when it is *monotonic* (§4.3): the rescheduled circuit
+/// is no longer than before, verified exactly by recomputing the makespan.
+pub fn run(
+    instrs: &[AggregateInstruction],
+    model: &dyn LatencyModel,
+    options: &AggregationOptions,
+) -> (Vec<AggregateInstruction>, AggregationStats) {
+    let mut current: Vec<AggregateInstruction> = instrs.to_vec();
+    // Latencies are maintained incrementally: only the instruction produced by
+    // a merge is re-priced, so the model is queried O(instructions + merges)
+    // times rather than O(instructions · merges).
+    let mut latencies: Vec<f64> = current
+        .iter()
+        .map(|i| model.aggregate_latency(&i.constituents))
+        .collect();
+    let mut schedule = asap_schedule(&current, &latencies);
+    let mut slacks = alap_slacks(&current, &latencies, &schedule);
+    let mut stats = AggregationStats {
+        makespan_before: schedule.makespan,
+        ..Default::default()
+    };
+
+    loop {
+        stats.passes += 1;
+        let mut performed = false;
+
+        let mut i = 0usize;
+        while i < current.len() {
+            let n = current.len();
+            // Partner: the first later instruction sharing a qubit with i,
+            // searched within the window.
+            let mut partner = None;
+            for j in (i + 1)..n.min(i + 1 + options.search_window) {
+                if !current[i].shared_qubits(&current[j]).is_empty() {
+                    partner = Some(j);
+                    break;
+                }
+            }
+            let Some(j) = partner else {
+                i += 1;
+                continue;
+            };
+
+            // No instruction between i and j may touch any qubit of j (they
+            // already touch none of i's qubits, or one of them would have been
+            // the partner).
+            let b_qubits = current[j].qubits.clone();
+            if current[(i + 1)..j]
+                .iter()
+                .any(|k| k.qubits.iter().any(|q| b_qubits.contains(q)))
+            {
+                i += 1;
+                continue;
+            }
+
+            // Width / size limits.
+            let mut union = current[i].qubits.clone();
+            for q in &b_qubits {
+                if !union.contains(q) {
+                    union.push(*q);
+                }
+            }
+            if union.len() > options.max_width
+                || current[i].gate_count() + current[j].gate_count() > options.max_gates
+            {
+                i += 1;
+                continue;
+            }
+
+            let merged = current[i].merge(&current[j]);
+            let lat_merged = model.aggregate_latency(&merged.constituents);
+            let local_gain = latencies[i] + latencies[j] - lat_merged;
+            if options.require_local_gain && local_gain <= 1e-9 {
+                i += 1;
+                continue;
+            }
+
+            // Fast conservative filter before paying for an exact reschedule:
+            // the merged instruction runs from i's start for lat_merged; every
+            // qubit it occupies longer than before must have that much slack in
+            // its next user.
+            let finish_merged = schedule.entries[i].start + lat_merged;
+            if finish_merged > schedule.makespan + 1e-9 {
+                i += 1;
+                continue;
+            }
+            let mut plausible = true;
+            for &q in &merged.qubits {
+                let prev_release = if current[j].acts_on(q) {
+                    schedule.entries[j].finish()
+                } else {
+                    schedule.entries[i].finish()
+                };
+                let delay = finish_merged - prev_release;
+                if delay <= 1e-9 {
+                    continue;
+                }
+                let next_user = current
+                    .iter()
+                    .enumerate()
+                    .skip(j + 1)
+                    .find(|(_, inst)| inst.acts_on(q));
+                if let Some((k, _)) = next_user {
+                    if delay > slacks[k] + 1e-9 {
+                        plausible = false;
+                        break;
+                    }
+                }
+            }
+            if !plausible {
+                i += 1;
+                continue;
+            }
+
+            // Exact monotonicity check: apply the merge in place, recompute the
+            // makespan, and revert when it grew.
+            let saved_i = std::mem::replace(&mut current[i], merged);
+            let saved_j = current.remove(j);
+            let saved_lat_i = latencies[i];
+            let saved_lat_j = latencies.remove(j);
+            latencies[i] = lat_merged;
+            let new_schedule = asap_schedule(&current, &latencies);
+            if new_schedule.makespan > schedule.makespan + 1e-9 {
+                latencies[i] = saved_lat_i;
+                latencies.insert(j, saved_lat_j);
+                current[i] = saved_i;
+                current.insert(j, saved_j);
+                i += 1;
+                continue;
+            }
+
+            schedule = new_schedule;
+            slacks = alap_slacks(&current, &latencies, &schedule);
+            stats.merges += 1;
+            performed = true;
+            if stats.merges >= options.max_merges {
+                break;
+            }
+            // Stay at position i: the merged instruction may merge again with
+            // its next partner.
+        }
+
+        if !performed || stats.merges >= options.max_merges {
+            break;
+        }
+    }
+
+    stats.makespan_after = schedule.makespan;
+    (current, stats)
+}
+
+/// Marks every multi-gate instruction produced by the pass as `Aggregated`
+/// (single-gate instructions keep their origin). Mostly useful for reporting.
+pub fn finalize_origins(instrs: &mut [AggregateInstruction]) {
+    for inst in instrs.iter_mut() {
+        if inst.gate_count() > 1 && inst.origin == InstructionOrigin::Single {
+            inst.origin = InstructionOrigin::Aggregated;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frontend;
+    use qcc_hw::CalibratedLatencyModel;
+    use qcc_ir::{Circuit, Gate, Instruction};
+
+    fn single(g: Gate, qs: &[usize]) -> AggregateInstruction {
+        AggregateInstruction::from_gate(Instruction::new(g, qs.to_vec()))
+    }
+
+    #[test]
+    fn serial_chain_is_aggregated() {
+        // A strictly serial chain on 2 qubits should collapse into one
+        // instruction (within the width limit).
+        let instrs = vec![
+            single(Gate::H, &[0]),
+            single(Gate::Cnot, &[0, 1]),
+            single(Gate::Rz(0.8), &[1]),
+            single(Gate::Cnot, &[0, 1]),
+            single(Gate::H, &[0]),
+        ];
+        let model = CalibratedLatencyModel::asplos19();
+        let (out, stats) = run(&instrs, &model, &AggregationOptions::default());
+        assert!(out.len() < instrs.len());
+        assert!(stats.merges >= 2);
+        assert!(stats.makespan_after < stats.makespan_before);
+        // Semantics preserved.
+        let before = frontend::to_circuit(&instrs, 2).unitary();
+        let after = frontend::to_circuit(&out, 2).unitary();
+        assert!(after.approx_eq_up_to_phase(&before, 1e-9));
+    }
+
+    #[test]
+    fn width_limit_is_respected() {
+        let instrs: Vec<AggregateInstruction> = (0..5)
+            .map(|i| single(Gate::Cnot, &[i, i + 1]))
+            .collect();
+        let model = CalibratedLatencyModel::asplos19();
+        let options = AggregationOptions::with_width(3);
+        let (out, _) = run(&instrs, &model, &options);
+        assert!(out.iter().all(|i| i.width() <= 3), "{out:?}");
+    }
+
+    #[test]
+    fn aggregation_never_increases_makespan() {
+        let mut c = Circuit::new(4);
+        for q in 0..4 {
+            c.push(Gate::H, &[q]);
+        }
+        for i in 0..3 {
+            c.push(Gate::Cnot, &[i, i + 1]);
+            c.push(Gate::Rz(0.5), &[i + 1]);
+            c.push(Gate::Cnot, &[i, i + 1]);
+        }
+        let instrs = frontend::run(&c);
+        let model = CalibratedLatencyModel::asplos19();
+        let (_, stats) = run(&instrs, &model, &AggregationOptions::default());
+        assert!(stats.makespan_after <= stats.makespan_before + 1e-9);
+        assert!(stats.makespan_after < stats.makespan_before);
+    }
+
+    #[test]
+    fn merging_preserves_semantics_with_interleaved_instructions() {
+        // An unrelated gate sits between two mergeable instructions; merging
+        // hops over it, which is only legal because it shares no qubits.
+        let instrs = vec![
+            single(Gate::Cnot, &[0, 1]),
+            single(Gate::Rx(0.9), &[3]),
+            single(Gate::Rz(0.4), &[1]),
+            single(Gate::Cnot, &[0, 1]),
+        ];
+        let model = CalibratedLatencyModel::asplos19();
+        let (out, stats) = run(&instrs, &model, &AggregationOptions::default());
+        assert!(stats.merges >= 1);
+        let before = frontend::to_circuit(&instrs, 4).unitary();
+        let after = frontend::to_circuit(&out, 4).unitary();
+        assert!(after.approx_eq_up_to_phase(&before, 1e-9));
+    }
+
+    #[test]
+    fn merge_never_hops_over_a_dependence() {
+        // Rz on qubit 2 sits between CNOT(0,1) and CNOT(1,2): the direct merge
+        // of the two CNOTs is forbidden (it would move CNOT(1,2) before the
+        // Rz). The pass may instead absorb the Rz into the second CNOT first,
+        // which keeps the original gate order — either way the unitary must be
+        // exactly preserved, including the non-commuting Rz/CNOT pair.
+        let instrs = vec![
+            single(Gate::Cnot, &[0, 1]),
+            single(Gate::Rz(0.7), &[2]),
+            single(Gate::Cnot, &[1, 2]),
+        ];
+        let model = CalibratedLatencyModel::asplos19();
+        let (out, _) = run(&instrs, &model, &AggregationOptions::default());
+        let before = frontend::to_circuit(&instrs, 3).unitary();
+        let after = frontend::to_circuit(&out, 3).unitary();
+        assert!(after.approx_eq_up_to_phase(&before, 1e-9));
+        // The flattened gate order must keep the Rz before the second CNOT.
+        let flat: Vec<&Instruction> = out.iter().flat_map(|i| i.constituents.iter()).collect();
+        let rz_pos = flat.iter().position(|g| g.gate == Gate::Rz(0.7)).unwrap();
+        let second_cnot_pos = flat
+            .iter()
+            .rposition(|g| g.gate == Gate::Cnot && g.qubits == vec![1, 2])
+            .unwrap();
+        assert!(rz_pos < second_cnot_pos);
+    }
+
+    #[test]
+    fn parallel_structure_is_not_serialized() {
+        // Two independent 2-qubit chains: merging across them is impossible
+        // (no shared qubits), and aggregation must keep them parallel.
+        let instrs = vec![
+            single(Gate::Cnot, &[0, 1]),
+            single(Gate::Cnot, &[2, 3]),
+            single(Gate::Rz(0.4), &[1]),
+            single(Gate::Rz(0.4), &[3]),
+        ];
+        let model = CalibratedLatencyModel::asplos19();
+        let (out, stats) = run(&instrs, &model, &AggregationOptions::default());
+        for inst in &out {
+            assert!(
+                !(inst.acts_on(0) && inst.acts_on(2)),
+                "chains were merged: {inst}"
+            );
+        }
+        assert!(stats.makespan_after <= stats.makespan_before + 1e-9);
+    }
+
+    #[test]
+    fn no_gain_no_merge_when_required() {
+        let instrs = vec![single(Gate::Rz(0.0), &[0]), single(Gate::Rz(0.0), &[0])];
+        let model = CalibratedLatencyModel::asplos19();
+        let (out, stats) = run(&instrs, &model, &AggregationOptions::default());
+        assert_eq!(stats.merges, 0);
+        assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn gate_count_is_always_preserved() {
+        let mut c = Circuit::new(5);
+        for q in 0..5 {
+            c.push(Gate::H, &[q]);
+        }
+        for i in 0..4 {
+            c.push(Gate::Cnot, &[i, i + 1]);
+            c.push(Gate::Rz(0.2 * i as f64 + 0.1), &[i + 1]);
+            c.push(Gate::Cnot, &[i, i + 1]);
+        }
+        for q in 0..5 {
+            c.push(Gate::Rx(1.0), &[q]);
+        }
+        let instrs = frontend::run(&c);
+        let gates_before: usize = instrs.iter().map(|i| i.gate_count()).sum();
+        let model = CalibratedLatencyModel::asplos19();
+        let (out, _) = run(&instrs, &model, &AggregationOptions::default());
+        let gates_after: usize = out.iter().map(|i| i.gate_count()).sum();
+        assert_eq!(gates_before, gates_after);
+    }
+
+    #[test]
+    fn max_merges_caps_the_loop() {
+        let instrs: Vec<AggregateInstruction> = (0..6)
+            .map(|_| single(Gate::Cnot, &[0, 1]))
+            .collect();
+        let model = CalibratedLatencyModel::asplos19();
+        let options = AggregationOptions {
+            max_merges: 2,
+            ..AggregationOptions::default()
+        };
+        let (_, stats) = run(&instrs, &model, &options);
+        assert_eq!(stats.merges, 2);
+    }
+}

@@ -1,0 +1,277 @@
+//! Hand-optimization baseline (the "CLS + hand optimization" bars of Fig. 9).
+//!
+//! The paper compares against mechanically applying the known manual
+//! optimizations for iSWAP-based superconducting architectures ([39, 48]):
+//! cancelling adjacent self-inverse gate pairs, merging runs of Z-rotations,
+//! and fusing a SWAP with an adjacent CNOT on the same pair (which a human
+//! pulse designer implements with fewer native iSWAP pulses than the two gates
+//! separately). These rewrites act on the instruction stream before
+//! scheduling; the fused patterns are priced by the dedicated
+//! [`hand_latency`] rule instead of the generic gate-based cost.
+
+use crate::instr::{AggregateInstruction, InstructionOrigin};
+use qcc_hw::{ControlLimits, LatencyModel};
+use qcc_ir::{Gate, Instruction};
+use std::f64::consts::{FRAC_PI_2, PI};
+
+/// Applies the hand-optimization rewrites to a (flattened, single-gate)
+/// instruction stream and returns the rewritten stream.
+///
+/// Rules applied until a fixed point (bounded by a few passes):
+/// 1. adjacent self-inverse pairs on the same qubits cancel (CNOT·CNOT, H·H,
+///    X·X, Z·Z, SWAP·SWAP, CZ·CZ);
+/// 2. consecutive Rz/Phase rotations on the same qubit merge;
+/// 3. a SWAP adjacent to a CNOT on the same qubit pair fuses into one
+///    hand-optimized instruction.
+pub fn rewrite(instrs: &[AggregateInstruction]) -> Vec<AggregateInstruction> {
+    let mut current: Vec<AggregateInstruction> = instrs.to_vec();
+    for _ in 0..6 {
+        let (next, changed) = rewrite_pass(&current);
+        current = next;
+        if !changed {
+            break;
+        }
+    }
+    current
+}
+
+fn is_self_inverse(gate: &Gate) -> bool {
+    matches!(
+        gate,
+        Gate::X | Gate::Y | Gate::Z | Gate::H | Gate::Cnot | Gate::Cz | Gate::Swap
+    )
+}
+
+fn rewrite_pass(instrs: &[AggregateInstruction]) -> (Vec<AggregateInstruction>, bool) {
+    let mut out: Vec<AggregateInstruction> = Vec::with_capacity(instrs.len());
+    let mut consumed = vec![false; instrs.len()];
+    let mut changed = false;
+    for i in 0..instrs.len() {
+        if consumed[i] {
+            continue;
+        }
+        let a = &instrs[i];
+        // Only rewrite plain single-gate instructions.
+        if a.gate_count() != 1 {
+            out.push(a.clone());
+            consumed[i] = true;
+            continue;
+        }
+        // Find the next instruction touching any of a's qubits.
+        let mut partner = None;
+        for (j, cand) in instrs.iter().enumerate().skip(i + 1) {
+            if consumed[j] {
+                continue;
+            }
+            if !a.shared_qubits(cand).is_empty() {
+                partner = Some(j);
+                break;
+            }
+        }
+        let Some(j) = partner else {
+            out.push(a.clone());
+            consumed[i] = true;
+            continue;
+        };
+        let b = &instrs[j];
+        if b.gate_count() != 1 {
+            out.push(a.clone());
+            consumed[i] = true;
+            continue;
+        }
+        let ga = &a.constituents[0];
+        let gb = &b.constituents[0];
+        // The pair must be adjacent on *all* qubits of both gates: no
+        // instruction between them may touch any qubit of either.
+        let blocked = instrs[(i + 1)..j].iter().enumerate().any(|(off, k)| {
+            let idx = i + 1 + off;
+            !consumed[idx]
+                && k.qubits
+                    .iter()
+                    .any(|q| a.qubits.contains(q) || b.qubits.contains(q))
+        });
+        if blocked {
+            out.push(a.clone());
+            consumed[i] = true;
+            continue;
+        }
+
+        // Rule 1: self-inverse pair cancellation.
+        if ga.gate == gb.gate && ga.qubits == gb.qubits && is_self_inverse(&ga.gate) {
+            consumed[i] = true;
+            consumed[j] = true;
+            changed = true;
+            continue;
+        }
+        // Rule 2: merge Rz/Phase rotations on the same qubit.
+        if let (Some(ta), Some(tb)) = (z_angle(&ga.gate), z_angle(&gb.gate)) {
+            if ga.qubits == gb.qubits {
+                consumed[i] = true;
+                consumed[j] = true;
+                changed = true;
+                let total = ta + tb;
+                if total.rem_euclid(2.0 * PI).abs() > 1e-12
+                    && (total.rem_euclid(2.0 * PI) - 2.0 * PI).abs() > 1e-12
+                {
+                    out.push(AggregateInstruction::from_gate(Instruction::new(
+                        Gate::Rz(total),
+                        ga.qubits.clone(),
+                    )));
+                }
+                continue;
+            }
+        }
+        // Rule 3: SWAP + CNOT fusion on the same pair.
+        let same_pair = a.qubits == b.qubits;
+        let swap_cnot = (ga.gate == Gate::Swap && gb.gate == Gate::Cnot)
+            || (ga.gate == Gate::Cnot && gb.gate == Gate::Swap);
+        if same_pair && swap_cnot {
+            consumed[i] = true;
+            consumed[j] = true;
+            changed = true;
+            out.push(AggregateInstruction::from_gates(
+                vec![ga.clone(), gb.clone()],
+                InstructionOrigin::HandOptimized,
+            ));
+            continue;
+        }
+        out.push(a.clone());
+        consumed[i] = true;
+    }
+    (out, changed)
+}
+
+fn z_angle(gate: &Gate) -> Option<f64> {
+    match gate {
+        Gate::Rz(t) | Gate::Phase(t) => Some(*t),
+        Gate::Z => Some(PI),
+        Gate::S => Some(FRAC_PI_2),
+        Gate::Sdg => Some(-FRAC_PI_2),
+        Gate::T => Some(PI / 4.0),
+        Gate::Tdg => Some(-PI / 4.0),
+        _ => None,
+    }
+}
+
+/// Latency of an instruction under the hand-optimized gate-based scheme:
+/// ordinary gates are priced by the ISA rule; the fused SWAP+CNOT pattern is
+/// priced as the published manual pulse construction (two native iSWAP pulses
+/// plus dressing rather than the five of the naive decomposition).
+pub fn hand_latency(
+    inst: &AggregateInstruction,
+    model: &dyn LatencyModel,
+    limits: &ControlLimits,
+) -> f64 {
+    if inst.origin == InstructionOrigin::HandOptimized {
+        limits.instruction_overhead_ns
+            + limits.two_qubit_time(PI)
+            + 2.0 * limits.one_qubit_time(FRAC_PI_2)
+    } else if inst.origin == InstructionOrigin::DiagonalBlock && inst.width() == 2 {
+        // The CNOT–Rz–CNOT → direct ZZ-interaction pulse is a published manual
+        // construction for XY-coupled hardware ([48]); hand optimization gets
+        // credit for it, which is why the paper finds hand optimization
+        // competitive on simply-encoded workloads such as MAXCUT-line (§6.4).
+        model.aggregate_latency(&inst.constituents)
+    } else {
+        inst.constituents
+            .iter()
+            .map(|g| model.isa_gate_latency(g))
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frontend;
+    use qcc_hw::CalibratedLatencyModel;
+    use qcc_ir::Circuit;
+
+    fn single(g: Gate, qs: &[usize]) -> AggregateInstruction {
+        AggregateInstruction::from_gate(Instruction::new(g, qs.to_vec()))
+    }
+
+    #[test]
+    fn cnot_pairs_cancel() {
+        let instrs = vec![
+            single(Gate::Cnot, &[0, 1]),
+            single(Gate::Cnot, &[0, 1]),
+            single(Gate::H, &[2]),
+        ];
+        let out = rewrite(&instrs);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].constituents[0].gate, Gate::H);
+    }
+
+    #[test]
+    fn rz_runs_merge() {
+        let instrs = vec![
+            single(Gate::Rz(0.3), &[1]),
+            single(Gate::T, &[1]),
+            single(Gate::Rz(-0.1), &[1]),
+        ];
+        let out = rewrite(&instrs);
+        assert_eq!(out.len(), 1);
+        match out[0].constituents[0].gate {
+            Gate::Rz(t) => assert!((t - (0.3 + PI / 4.0 - 0.1)).abs() < 1e-12),
+            ref g => panic!("expected merged Rz, got {g:?}"),
+        }
+    }
+
+    #[test]
+    fn opposite_rotations_cancel_to_nothing() {
+        let instrs = vec![single(Gate::Rz(0.7), &[0]), single(Gate::Rz(-0.7), &[0])];
+        let out = rewrite(&instrs);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn swap_cnot_fuses_and_gets_cheaper_price() {
+        let instrs = vec![single(Gate::Swap, &[0, 1]), single(Gate::Cnot, &[0, 1])];
+        let out = rewrite(&instrs);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].origin, InstructionOrigin::HandOptimized);
+        let model = CalibratedLatencyModel::asplos19();
+        let limits = *model.limits();
+        let fused = hand_latency(&out[0], &model, &limits);
+        let separate: f64 = instrs
+            .iter()
+            .map(|i| hand_latency(i, &model, &limits))
+            .sum();
+        assert!(fused < separate, "fused {fused} vs separate {separate}");
+    }
+
+    #[test]
+    fn rewrites_preserve_semantics() {
+        let mut c = Circuit::new(3);
+        c.push(Gate::H, &[0]);
+        c.push(Gate::Cnot, &[0, 1]);
+        c.push(Gate::Cnot, &[0, 1]);
+        c.push(Gate::Rz(0.4), &[2]);
+        c.push(Gate::Rz(0.6), &[2]);
+        c.push(Gate::Swap, &[1, 2]);
+        c.push(Gate::Cnot, &[1, 2]);
+        c.push(Gate::H, &[0]);
+        c.push(Gate::H, &[0]);
+        let instrs = frontend::lower(&c);
+        let out = rewrite(&instrs);
+        let before = c.unitary();
+        let after = frontend::to_circuit(&out, 3).unitary();
+        assert!(after.approx_eq_up_to_phase(&before, 1e-9));
+        // And it actually got smaller.
+        let gates_after: usize = out.iter().map(|i| i.gate_count()).sum();
+        assert!(gates_after < c.len());
+    }
+
+    #[test]
+    fn cancellation_blocked_by_interposed_gate() {
+        let instrs = vec![
+            single(Gate::Cnot, &[0, 1]),
+            single(Gate::H, &[1]),
+            single(Gate::Cnot, &[0, 1]),
+        ];
+        let out = rewrite(&instrs);
+        let gates: usize = out.iter().map(|i| i.gate_count()).sum();
+        assert_eq!(gates, 3);
+    }
+}

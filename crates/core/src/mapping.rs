@@ -1,0 +1,326 @@
+//! Qubit mapping and topological-constraint resolution (§3.4.1).
+//!
+//! The initial placement bisects the qubit-interaction graph recursively (the
+//! in-tree substitute for METIS) so frequently-interacting program qubits land
+//! on nearby physical qubits. Routing then walks the instruction sequence and
+//! prepends SWAP chains whenever a two-qubit instruction straddles
+//! non-neighbouring physical qubits, updating the layout as it goes.
+
+use crate::instr::AggregateInstruction;
+use qcc_graph::{partition, Graph};
+use qcc_hw::Topology;
+use serde::{Deserialize, Serialize};
+
+/// A program-to-physical qubit assignment.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Layout {
+    /// `physical[l]` is the physical qubit holding logical qubit `l`.
+    pub physical: Vec<usize>,
+}
+
+impl Layout {
+    /// The identity layout on `n` qubits.
+    pub fn identity(n: usize) -> Self {
+        Self {
+            physical: (0..n).collect(),
+        }
+    }
+
+    /// Number of logical qubits.
+    pub fn len(&self) -> usize {
+        self.physical.len()
+    }
+
+    /// `true` when the layout is empty.
+    pub fn is_empty(&self) -> bool {
+        self.physical.is_empty()
+    }
+
+    /// Physical qubit of logical qubit `l`.
+    pub fn physical_of(&self, l: usize) -> usize {
+        self.physical[l]
+    }
+
+    /// Logical qubit held by physical qubit `p`, if any.
+    pub fn logical_of(&self, p: usize) -> Option<usize> {
+        self.physical.iter().position(|&x| x == p)
+    }
+
+    /// Swaps the logical qubits held by two physical qubits (used as routing
+    /// SWAPs are inserted).
+    pub fn swap_physical(&mut self, pa: usize, pb: usize) {
+        let la = self.logical_of(pa);
+        let lb = self.logical_of(pb);
+        if let Some(la) = la {
+            self.physical[la] = pb;
+        }
+        if let Some(lb) = lb {
+            self.physical[lb] = pa;
+        }
+    }
+}
+
+/// Builds the qubit-interaction graph of an instruction sequence: vertices are
+/// logical qubits, edge weights count multi-qubit instructions per pair.
+pub fn interaction_graph(instrs: &[AggregateInstruction], n_qubits: usize) -> Graph {
+    let mut g = Graph::new(n_qubits);
+    for inst in instrs {
+        if inst.qubits.len() >= 2 {
+            for i in 0..inst.qubits.len() {
+                for j in (i + 1)..inst.qubits.len() {
+                    g.add_edge(inst.qubits[i], inst.qubits[j], 1.0);
+                }
+            }
+        }
+    }
+    g
+}
+
+/// Computes an initial layout by recursive bisection of the interaction graph:
+/// the bisection order of the logical qubits is laid onto the physical qubits
+/// in their natural (line / row-major) order, so strongly-coupled qubits end up
+/// adjacent (§3.4.1).
+///
+/// # Panics
+///
+/// Panics if the device has fewer physical qubits than the program needs.
+pub fn initial_layout(
+    instrs: &[AggregateInstruction],
+    n_qubits: usize,
+    topology: &Topology,
+) -> Layout {
+    assert!(
+        topology.n_qubits() >= n_qubits,
+        "device has {} qubits, program needs {}",
+        topology.n_qubits(),
+        n_qubits
+    );
+    let g = interaction_graph(instrs, n_qubits);
+    let order = partition::recursive_bisection_order(&g);
+    // order[k] is the logical qubit placed at physical position k.
+    let mut layout = vec![0usize; n_qubits];
+    for (position, &logical) in order.iter().enumerate() {
+        layout[logical] = position;
+    }
+    Layout { physical: layout }
+}
+
+/// Result of routing an instruction sequence onto a topology.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RoutedProgram {
+    /// Instructions on *physical* qubits, with routing SWAPs inserted.
+    pub instructions: Vec<AggregateInstruction>,
+    /// The initial layout used.
+    pub initial_layout: Layout,
+    /// The final layout after all routing SWAPs.
+    pub final_layout: Layout,
+    /// Number of SWAPs inserted.
+    pub swap_count: usize,
+}
+
+/// Routes a logically-scheduled instruction sequence onto the topology:
+/// instructions are rewritten in physical indices and SWAP chains are inserted
+/// in front of any multi-qubit instruction whose qubits are not neighbours.
+pub fn route(
+    instrs: &[AggregateInstruction],
+    topology: &Topology,
+    layout: Layout,
+) -> RoutedProgram {
+    let initial_layout = layout.clone();
+    let mut layout = layout;
+    let mut out: Vec<AggregateInstruction> = Vec::with_capacity(instrs.len());
+    let mut swap_count = 0usize;
+    for inst in instrs {
+        match inst.qubits.len() {
+            0 | 1 => {
+                out.push(inst.remap(&layout.physical));
+            }
+            2 => {
+                let mut pa = layout.physical_of(inst.qubits[0]);
+                let pb = layout.physical_of(inst.qubits[1]);
+                if !topology.are_adjacent(pa, pb) && pa != pb {
+                    let path = topology
+                        .path(pa, pb)
+                        .expect("both endpoints are on the device");
+                    // Move the first qubit along the path until adjacent to pb.
+                    for window in path.windows(2).take(path.len().saturating_sub(2)) {
+                        let (from, to) = (window[0], window[1]);
+                        out.push(AggregateInstruction::routing_swap(from, to));
+                        layout.swap_physical(from, to);
+                        swap_count += 1;
+                        pa = to;
+                    }
+                    debug_assert!(topology.are_adjacent(pa, layout.physical_of(inst.qubits[1])));
+                }
+                out.push(inst.remap(&layout.physical));
+            }
+            _ => {
+                // Wider instructions only appear after aggregation, which runs
+                // post-routing; accept them unchanged (their qubits are already
+                // physical and mutually routed).
+                out.push(inst.clone());
+            }
+        }
+    }
+    RoutedProgram {
+        instructions: out,
+        initial_layout,
+        final_layout: layout,
+        swap_count,
+    }
+}
+
+/// Convenience: initial layout + routing in one call.
+pub fn map_and_route(
+    instrs: &[AggregateInstruction],
+    n_qubits: usize,
+    topology: &Topology,
+) -> RoutedProgram {
+    let layout = initial_layout(instrs, n_qubits, topology);
+    route(instrs, topology, layout)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frontend;
+    use crate::instr::InstructionOrigin;
+    use qcc_ir::{Circuit, Gate, Instruction};
+    use qcc_sim::StateVector;
+
+    fn single(g: Gate, qs: &[usize]) -> AggregateInstruction {
+        AggregateInstruction::from_gate(Instruction::new(g, qs.to_vec()))
+    }
+
+    #[test]
+    fn layout_bookkeeping() {
+        let mut l = Layout::identity(4);
+        assert_eq!(l.physical_of(2), 2);
+        l.swap_physical(1, 2);
+        assert_eq!(l.physical_of(1), 2);
+        assert_eq!(l.physical_of(2), 1);
+        assert_eq!(l.logical_of(2), Some(1));
+    }
+
+    #[test]
+    fn adjacent_gates_need_no_swaps() {
+        let instrs = vec![single(Gate::Cnot, &[0, 1]), single(Gate::Cnot, &[1, 2])];
+        let topo = Topology::Linear(3);
+        let routed = route(&instrs, &topo, Layout::identity(3));
+        assert_eq!(routed.swap_count, 0);
+        assert_eq!(routed.instructions.len(), 2);
+    }
+
+    #[test]
+    fn distant_gate_gets_swap_chain() {
+        let instrs = vec![single(Gate::Cnot, &[0, 3])];
+        let topo = Topology::Linear(4);
+        let routed = route(&instrs, &topo, Layout::identity(4));
+        assert_eq!(routed.swap_count, 2);
+        assert_eq!(routed.instructions.len(), 3);
+        // All emitted two-qubit instructions act on adjacent physical qubits.
+        for inst in &routed.instructions {
+            if inst.qubits.len() == 2 {
+                assert!(topo.are_adjacent(inst.qubits[0], inst.qubits[1]), "{inst}");
+            }
+        }
+    }
+
+    #[test]
+    fn initial_layout_places_interacting_qubits_together() {
+        // Logical qubits 0 and 5 interact heavily; they should end up adjacent.
+        let instrs = vec![
+            single(Gate::Cnot, &[0, 5]),
+            single(Gate::Cnot, &[0, 5]),
+            single(Gate::Cnot, &[0, 5]),
+            single(Gate::Cnot, &[1, 2]),
+        ];
+        let topo = Topology::Linear(6);
+        let layout = initial_layout(&instrs, 6, &topo);
+        let d = topo.distance(layout.physical_of(0), layout.physical_of(5));
+        assert_eq!(d, 1, "heavily interacting qubits should be adjacent");
+    }
+
+    #[test]
+    fn routing_preserves_semantics_up_to_layout_permutation() {
+        // Build a small circuit, route it on a line, and check the routed
+        // program maps |0..0> to the permuted version of the original output.
+        let mut c = Circuit::new(4);
+        c.push(Gate::H, &[0]);
+        c.push(Gate::Cnot, &[0, 3]);
+        c.push(Gate::Rz(0.7), &[3]);
+        c.push(Gate::Cnot, &[1, 2]);
+        c.push(Gate::Rx(0.4), &[2]);
+        let instrs = frontend::lower(&c);
+        let topo = Topology::Linear(4);
+        let routed = map_and_route(&instrs, 4, &topo);
+
+        // Original output state.
+        let expected = StateVector::zero(4).evolved(&c);
+        // Routed program acts on physical qubits starting from |0..0>; the
+        // initial layout is a relabelling, so |0..0> is unchanged. The final
+        // state is related to the original by the *final* layout permutation.
+        let routed_circuit = frontend::to_circuit(&routed.instructions, 4);
+        let routed_state = StateVector::zero(4).evolved(&routed_circuit);
+
+        // Compare probabilities of every basis state after undoing the final
+        // layout permutation: logical qubit l sits on physical
+        // final_layout.physical_of(l).
+        let probs_expected = expected.probabilities();
+        let probs_routed = routed_state.probabilities();
+        for logical_index in 0..16usize {
+            // Build the physical index corresponding to this logical bit string.
+            let mut phys_index = 0usize;
+            for l in 0..4 {
+                let bit = (logical_index >> (3 - l)) & 1;
+                let p = routed.final_layout.physical_of(l);
+                phys_index |= bit << (3 - p);
+            }
+            assert!(
+                (probs_expected[logical_index] - probs_routed[phys_index]).abs() < 1e-9,
+                "probability mismatch at basis state {logical_index}"
+            );
+        }
+    }
+
+    #[test]
+    fn diagonal_blocks_survive_routing() {
+        let block = AggregateInstruction::from_gates(
+            vec![
+                Instruction::new(Gate::Cnot, vec![0, 2]),
+                Instruction::new(Gate::Rz(0.9), vec![2]),
+                Instruction::new(Gate::Cnot, vec![0, 2]),
+            ],
+            InstructionOrigin::DiagonalBlock,
+        );
+        let topo = Topology::Linear(3);
+        let routed = route(&[block], &topo, Layout::identity(3));
+        assert_eq!(routed.swap_count, 1);
+        let rewritten = routed
+            .instructions
+            .iter()
+            .find(|i| i.origin == InstructionOrigin::DiagonalBlock)
+            .expect("block survives");
+        // After one SWAP the block acts on adjacent physical qubits.
+        assert!(topo.are_adjacent(rewritten.qubits[0], rewritten.qubits[1]));
+    }
+
+    #[test]
+    fn grid_routing_keeps_all_two_qubit_gates_adjacent() {
+        let mut c = Circuit::new(6);
+        for i in 0..6 {
+            c.push(Gate::H, &[i]);
+        }
+        c.push(Gate::Cnot, &[0, 5]);
+        c.push(Gate::Cnot, &[2, 4]);
+        c.push(Gate::Cnot, &[1, 3]);
+        let instrs = frontend::lower(&c);
+        let topo = Topology::Grid { rows: 2, cols: 3 };
+        let routed = map_and_route(&instrs, 6, &topo);
+        for inst in &routed.instructions {
+            if inst.qubits.len() == 2 {
+                assert!(topo.are_adjacent(inst.qubits[0], inst.qubits[1]));
+            }
+        }
+    }
+}

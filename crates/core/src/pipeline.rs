@@ -1,0 +1,517 @@
+//! The end-to-end compilation pipeline and the strategy matrix of the
+//! evaluation (Fig. 9).
+//!
+//! Every strategy shares the same front door (flattening) and the same back
+//! door (ASAP scheduling of priced instructions on the device); they differ in
+//! which of the paper's passes run in between:
+//!
+//! | strategy | commutativity detection | CLS | routing | aggregation | pricing |
+//! |---|---|---|---|---|---|
+//! | `IsaBaseline` | – | – | ✓ | – | per-gate ISA pulses |
+//! | `Cls` | ✓ | ✓ | ✓ | – | per-gate ISA pulses |
+//! | `AggregationOnly` | ✓ | – | ✓ | ✓ | per-instruction optimized pulses |
+//! | `ClsAggregation` | ✓ | ✓ | ✓ | ✓ | per-instruction optimized pulses |
+//! | `ClsHandOptimized` | – | ✓ | ✓ | – | hand-tuned gate pulses ([39,48]) |
+
+use crate::aggregate::{self, AggregationOptions, AggregationStats};
+use crate::cls;
+use crate::frontend;
+use crate::handopt;
+use crate::instr::AggregateInstruction;
+use crate::mapping;
+use crate::schedule::{asap_schedule, Schedule};
+use qcc_hw::{CalibratedLatencyModel, Device, LatencyModel};
+use qcc_ir::Circuit;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Compilation strategy, matching the bars of Fig. 9.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Strategy {
+    /// Standard gate-based (ISA) compilation — the baseline with latency 1.0.
+    IsaBaseline,
+    /// Commutativity-aware logical scheduling only (§3.3.2).
+    Cls,
+    /// Instruction aggregation without CLS (§4.3).
+    AggregationOnly,
+    /// The full proposed flow: CLS + aggregation.
+    ClsAggregation,
+    /// CLS plus mechanically-applied hand optimizations for iSWAP
+    /// architectures.
+    ClsHandOptimized,
+}
+
+impl Strategy {
+    /// All strategies in presentation order.
+    pub fn all() -> [Strategy; 5] {
+        [
+            Strategy::IsaBaseline,
+            Strategy::Cls,
+            Strategy::AggregationOnly,
+            Strategy::ClsAggregation,
+            Strategy::ClsHandOptimized,
+        ]
+    }
+
+    /// Short display name used in reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Strategy::IsaBaseline => "ISA",
+            Strategy::Cls => "CLS",
+            Strategy::AggregationOnly => "Aggregation",
+            Strategy::ClsAggregation => "CLS+Aggregation",
+            Strategy::ClsHandOptimized => "CLS+HandOpt",
+        }
+    }
+
+    fn uses_detection(&self) -> bool {
+        // Every strategy that schedules with commutativity awareness needs the
+        // detection pass (Fig. 5, right); only the plain ISA baseline skips it.
+        !matches!(self, Strategy::IsaBaseline)
+    }
+
+    fn uses_cls(&self) -> bool {
+        matches!(
+            self,
+            Strategy::Cls | Strategy::ClsAggregation | Strategy::ClsHandOptimized
+        )
+    }
+
+    fn uses_aggregation(&self) -> bool {
+        matches!(self, Strategy::AggregationOnly | Strategy::ClsAggregation)
+    }
+
+    fn uses_handopt(&self) -> bool {
+        matches!(self, Strategy::ClsHandOptimized)
+    }
+
+    /// Whether instructions are priced as single optimized pulses (aggregated
+    /// compilation) rather than sequences of per-gate pulses.
+    pub fn pulse_per_instruction(&self) -> bool {
+        self.uses_aggregation()
+    }
+}
+
+/// Options of a compilation run.
+#[derive(Debug, Clone)]
+pub struct CompilerOptions {
+    /// Which passes to run.
+    pub strategy: Strategy,
+    /// Aggregation options (width limit etc.).
+    pub aggregation: AggregationOptions,
+}
+
+impl Default for CompilerOptions {
+    fn default() -> Self {
+        Self {
+            strategy: Strategy::ClsAggregation,
+            aggregation: AggregationOptions::default(),
+        }
+    }
+}
+
+impl CompilerOptions {
+    /// Options for a given strategy with default aggregation settings.
+    pub fn strategy(strategy: Strategy) -> Self {
+        Self {
+            strategy,
+            ..Self::default()
+        }
+    }
+
+    /// Options for the full flow with a specific instruction-width limit.
+    pub fn with_width(width: usize) -> Self {
+        Self {
+            strategy: Strategy::ClsAggregation,
+            aggregation: AggregationOptions::with_width(width),
+        }
+    }
+}
+
+/// Snapshot of the instruction stream after one pipeline stage (the material
+/// of Fig. 6).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StageSnapshot {
+    /// Stage name.
+    pub stage: String,
+    /// Number of instructions after the stage.
+    pub instructions: usize,
+    /// Number of constituent gates after the stage.
+    pub gates: usize,
+}
+
+/// Result of compiling one circuit with one strategy.
+#[derive(Debug, Clone)]
+pub struct CompilationResult {
+    /// The strategy that produced this result.
+    pub strategy: Strategy,
+    /// Final instruction stream on physical qubits.
+    pub instructions: Vec<AggregateInstruction>,
+    /// Per-instruction latencies in ns (aligned with `instructions`).
+    pub latencies: Vec<f64>,
+    /// The final ASAP schedule.
+    pub schedule: Schedule,
+    /// Total pulse latency of the program in ns (the paper's metric).
+    pub total_latency_ns: f64,
+    /// Number of routing SWAPs inserted.
+    pub swap_count: usize,
+    /// Aggregation statistics (zeroed when the strategy does not aggregate).
+    pub aggregation: AggregationStats,
+    /// Instruction-count snapshots per pipeline stage.
+    pub stages: Vec<StageSnapshot>,
+    /// The initial qubit layout used.
+    pub initial_layout: mapping::Layout,
+    /// The final qubit layout (after routing SWAPs).
+    pub final_layout: mapping::Layout,
+}
+
+impl CompilationResult {
+    /// Histogram of instruction widths in the final program.
+    pub fn width_histogram(&self) -> HashMap<usize, usize> {
+        let mut h = HashMap::new();
+        for inst in &self.instructions {
+            *h.entry(inst.width()).or_insert(0) += 1;
+        }
+        h
+    }
+
+    /// Number of aggregated (multi-gate) instructions.
+    pub fn aggregated_instruction_count(&self) -> usize {
+        self.instructions.iter().filter(|i| i.gate_count() > 1).count()
+    }
+
+    /// Latency of the largest and of the smallest instruction on the critical
+    /// path, as plotted in Fig. 10's shaded band. Returns `None` for an empty
+    /// schedule.
+    pub fn critical_path_latency_band(&self) -> Option<(f64, f64)> {
+        let slacks = crate::schedule::alap_slacks(&self.instructions, &self.latencies, &self.schedule);
+        let on_path = self.schedule.critical_path(&slacks);
+        let latencies: Vec<f64> = on_path.iter().map(|&i| self.latencies[i]).collect();
+        if latencies.is_empty() {
+            return None;
+        }
+        let min = latencies.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = latencies.iter().cloned().fold(0.0f64, f64::max);
+        Some((min, max))
+    }
+}
+
+/// The compiler: a device plus a latency model.
+pub struct Compiler<'a> {
+    device: Device,
+    model: &'a dyn LatencyModel,
+}
+
+impl<'a> Compiler<'a> {
+    /// Creates a compiler for a device using the given latency model.
+    pub fn new(device: Device, model: &'a dyn LatencyModel) -> Self {
+        Self { device, model }
+    }
+
+    /// The device the compiler targets.
+    pub fn device(&self) -> &Device {
+        &self.device
+    }
+
+    /// Compiles `circuit` with the given options.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the circuit needs more qubits than the device provides.
+    pub fn compile(&self, circuit: &Circuit, options: &CompilerOptions) -> CompilationResult {
+        let strategy = options.strategy;
+        let mut stages = Vec::new();
+        let snapshot = |stage: &str, instrs: &[AggregateInstruction]| StageSnapshot {
+            stage: stage.to_string(),
+            instructions: instrs.len(),
+            gates: instrs.iter().map(|i| i.gate_count()).sum(),
+        };
+
+        // ---- Front end: flatten, then (optionally) detect diagonal blocks.
+        let mut instrs = frontend::lower(circuit);
+        stages.push(snapshot("flatten", &instrs));
+        if strategy.uses_detection() {
+            instrs = frontend::detect_diagonal_blocks(&instrs);
+            stages.push(snapshot("commutativity-detection", &instrs));
+        }
+        if strategy.uses_handopt() {
+            instrs = handopt::rewrite(&instrs);
+            stages.push(snapshot("hand-optimization", &instrs));
+        }
+
+        // Pricing of an instruction *before* aggregation (also used by CLS for
+        // prioritization): gate-based pulse costs.
+        let pre_price = |inst: &AggregateInstruction| -> f64 {
+            if strategy.uses_handopt() {
+                handopt::hand_latency(inst, self.model, &self.device.limits)
+            } else {
+                inst.constituents
+                    .iter()
+                    .map(|g| self.model.isa_gate_latency(g))
+                    .sum()
+            }
+        };
+
+        // ---- Commutativity-aware logical scheduling.
+        //
+        // When aggregation follows, the logical-level CLS is skipped: the
+        // aggregation pass works on program order (its action space follows
+        // per-qubit adjacency), and the commutativity-aware reordering is
+        // applied to the *aggregated* instructions afterwards, which preserves
+        // both benefits (the paper likewise reschedules the aggregated
+        // instructions with CLS before emitting pulses, §3.4.2).
+        if strategy.uses_cls() && !strategy.uses_aggregation() {
+            let lat: Vec<f64> = instrs.iter().map(&pre_price).collect();
+            let result = cls::schedule(&instrs, &lat);
+            instrs = cls::apply_order(&instrs, &result.order);
+            stages.push(snapshot("cls", &instrs));
+        }
+
+        // ---- Mapping and routing.
+        let routed = mapping::map_and_route(&instrs, circuit.n_qubits(), &self.device.topology);
+        let swap_count = routed.swap_count;
+        let initial_layout = routed.initial_layout.clone();
+        let final_layout = routed.final_layout.clone();
+        let mut instrs = routed.instructions;
+        stages.push(snapshot("route", &instrs));
+
+        // ---- Aggregation.
+        let mut agg_stats = AggregationStats::default();
+        if strategy.uses_aggregation() {
+            let (aggregated, stats) = aggregate::run(&instrs, self.model, &options.aggregation);
+            instrs = aggregated;
+            aggregate::finalize_origins(&mut instrs);
+            agg_stats = stats;
+            stages.push(snapshot("aggregation", &instrs));
+            // Re-run CLS on the aggregated instructions for the final schedule,
+            // as the paper does before emitting pulses (§3.4.2).
+            if strategy.uses_cls() {
+                let lat: Vec<f64> = instrs
+                    .iter()
+                    .map(|i| self.model.aggregate_latency(&i.constituents))
+                    .collect();
+                let result = cls::schedule(&instrs, &lat);
+                instrs = cls::apply_order(&instrs, &result.order);
+                stages.push(snapshot("final-cls", &instrs));
+            }
+        }
+
+        // ---- Final pricing and schedule.
+        let latencies: Vec<f64> = instrs
+            .iter()
+            .map(|inst| {
+                if strategy.pulse_per_instruction() {
+                    self.model.aggregate_latency(&inst.constituents)
+                } else {
+                    pre_price(inst)
+                }
+            })
+            .collect();
+        let schedule = asap_schedule(&instrs, &latencies);
+        let total_latency_ns = schedule.makespan;
+
+        CompilationResult {
+            strategy,
+            instructions: instrs,
+            latencies,
+            total_latency_ns,
+            schedule,
+            swap_count,
+            aggregation: agg_stats,
+            stages,
+            initial_layout,
+            final_layout,
+        }
+    }
+
+    /// Compiles the circuit under every strategy and returns the results keyed
+    /// by strategy, plus the speedup of each strategy relative to the ISA
+    /// baseline (the normalized latencies of Fig. 9).
+    pub fn compare_strategies(
+        &self,
+        circuit: &Circuit,
+        aggregation: AggregationOptions,
+    ) -> StrategyComparison {
+        let mut results = Vec::new();
+        for strategy in Strategy::all() {
+            let options = CompilerOptions {
+                strategy,
+                aggregation,
+            };
+            results.push(self.compile(circuit, &options));
+        }
+        StrategyComparison { results }
+    }
+}
+
+/// Results of compiling one circuit under every strategy.
+#[derive(Debug)]
+pub struct StrategyComparison {
+    /// One result per strategy, in [`Strategy::all`] order.
+    pub results: Vec<CompilationResult>,
+}
+
+impl StrategyComparison {
+    /// The result for a given strategy.
+    pub fn get(&self, strategy: Strategy) -> &CompilationResult {
+        self.results
+            .iter()
+            .find(|r| r.strategy == strategy)
+            .expect("all strategies compiled")
+    }
+
+    /// Latency of `strategy` normalized to the ISA baseline (Fig. 9's y-axis).
+    pub fn normalized_latency(&self, strategy: Strategy) -> f64 {
+        let base = self.get(Strategy::IsaBaseline).total_latency_ns;
+        if base <= 0.0 {
+            return 1.0;
+        }
+        self.get(strategy).total_latency_ns / base
+    }
+
+    /// Speedup of `strategy` over the ISA baseline.
+    pub fn speedup(&self, strategy: Strategy) -> f64 {
+        let norm = self.normalized_latency(strategy);
+        if norm <= 0.0 {
+            1.0
+        } else {
+            1.0 / norm
+        }
+    }
+}
+
+/// Compiles with the default calibrated latency model — the common entry point
+/// for examples and benchmarks.
+pub fn compile_with_default_model(
+    circuit: &Circuit,
+    device: &Device,
+    options: &CompilerOptions,
+) -> CompilationResult {
+    let model = CalibratedLatencyModel::new(device.limits);
+    Compiler::new(device.clone(), &model).compile(circuit, options)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qcc_hw::Topology;
+    use qcc_ir::Gate;
+
+    /// The worked QAOA MAXCUT-on-a-triangle example of §3.1 / Fig. 4, on a
+    /// 3-qubit line (one SWAP required), with the paper's angles.
+    fn qaoa_triangle() -> Circuit {
+        let gamma = 5.67;
+        let beta = 1.26;
+        let mut c = Circuit::new(3);
+        for q in 0..3 {
+            c.push(Gate::H, &[q]);
+        }
+        for &(a, b) in &[(0usize, 1usize), (1, 2), (0, 2)] {
+            c.push(Gate::Cnot, &[a, b]);
+            c.push(Gate::Rz(gamma), &[b]);
+            c.push(Gate::Cnot, &[a, b]);
+        }
+        for q in 0..3 {
+            c.push(Gate::Rx(beta), &[q]);
+        }
+        c
+    }
+
+    fn line_device() -> Device {
+        Device::transmon(Topology::Linear(3))
+    }
+
+    #[test]
+    fn all_strategies_compile_the_qaoa_example() {
+        let model = CalibratedLatencyModel::asplos19();
+        let compiler = Compiler::new(line_device(), &model);
+        let comparison =
+            compiler.compare_strategies(&qaoa_triangle(), AggregationOptions::default());
+        for strategy in Strategy::all() {
+            let r = comparison.get(strategy);
+            assert!(r.total_latency_ns > 0.0, "{strategy:?}");
+            assert!(!r.instructions.is_empty());
+            // Gate count conservation: every input gate appears exactly once
+            // (plus routing SWAPs, minus hand-opt cancellations which this
+            // circuit does not trigger except through Rz merges).
+            let gates: usize = r.instructions.iter().map(|i| i.gate_count()).sum();
+            assert!(gates >= qaoa_triangle().len(), "{strategy:?}: {gates}");
+        }
+    }
+
+    #[test]
+    fn aggregated_compilation_beats_the_baseline_on_qaoa() {
+        let model = CalibratedLatencyModel::asplos19();
+        let compiler = Compiler::new(line_device(), &model);
+        let comparison =
+            compiler.compare_strategies(&qaoa_triangle(), AggregationOptions::default());
+        let full = comparison.speedup(Strategy::ClsAggregation);
+        let cls = comparison.speedup(Strategy::Cls);
+        let agg = comparison.speedup(Strategy::AggregationOnly);
+        // The paper's worked example achieves ≈2.97× with aggregation; our cost
+        // model should land in the same territory (comfortably above 1.5×) and
+        // the full flow should dominate its components.
+        assert!(full > 1.5, "full speedup {full}");
+        assert!(full + 1e-9 >= cls.min(agg), "full {full} vs cls {cls} / agg {agg}");
+        assert!(cls >= 0.99, "CLS never slows the circuit down: {cls}");
+    }
+
+    #[test]
+    fn strategy_table_flags() {
+        assert!(!Strategy::IsaBaseline.uses_cls());
+        assert!(Strategy::Cls.uses_detection());
+        assert!(Strategy::ClsHandOptimized.uses_detection());
+        assert!(!Strategy::IsaBaseline.uses_detection());
+        assert!(Strategy::ClsAggregation.pulse_per_instruction());
+        assert!(!Strategy::Cls.pulse_per_instruction());
+        assert_eq!(Strategy::all().len(), 5);
+    }
+
+    #[test]
+    fn compilation_reports_stages_and_layouts() {
+        let model = CalibratedLatencyModel::asplos19();
+        let compiler = Compiler::new(line_device(), &model);
+        let r = compiler.compile(
+            &qaoa_triangle(),
+            &CompilerOptions::strategy(Strategy::ClsAggregation),
+        );
+        let stage_names: Vec<&str> = r.stages.iter().map(|s| s.stage.as_str()).collect();
+        assert!(stage_names.contains(&"flatten"));
+        assert!(stage_names.contains(&"commutativity-detection"));
+        assert!(stage_names.contains(&"route"));
+        assert!(stage_names.contains(&"aggregation"));
+        // With aggregation enabled the commutativity-aware reordering runs on
+        // the aggregated instructions ("final-cls"); without it, as "cls".
+        assert!(stage_names.contains(&"final-cls"));
+        let cls_only = compiler.compile(&qaoa_triangle(), &CompilerOptions::strategy(Strategy::Cls));
+        assert!(cls_only.stages.iter().any(|s| s.stage == "cls"));
+        assert_eq!(r.initial_layout.len(), 3);
+        assert_eq!(r.final_layout.len(), 3);
+        assert!(r.swap_count >= 1, "the triangle on a line needs a SWAP");
+        assert!(r.aggregated_instruction_count() > 0);
+        assert!(r.critical_path_latency_band().is_some());
+    }
+
+    #[test]
+    fn schedule_is_consistent_with_reported_latency() {
+        let model = CalibratedLatencyModel::asplos19();
+        let compiler = Compiler::new(line_device(), &model);
+        for strategy in Strategy::all() {
+            let r = compiler.compile(&qaoa_triangle(), &CompilerOptions::strategy(strategy));
+            let recomputed = asap_schedule(&r.instructions, &r.latencies).makespan;
+            assert!((recomputed - r.total_latency_ns).abs() < 1e-9);
+            // Every latency is positive except possibly explicit identities.
+            assert!(r.latencies.iter().all(|&l| l >= 0.0));
+        }
+    }
+
+    #[test]
+    fn width_limit_one_effectively_disables_multi_qubit_merges() {
+        let model = CalibratedLatencyModel::asplos19();
+        let compiler = Compiler::new(line_device(), &model);
+        let narrow = compiler.compile(&qaoa_triangle(), &CompilerOptions::with_width(2));
+        let wide = compiler.compile(&qaoa_triangle(), &CompilerOptions::with_width(10));
+        assert!(wide.total_latency_ns <= narrow.total_latency_ns + 1e-9);
+        assert!(narrow.instructions.iter().all(|i| i.width() <= 2));
+    }
+}

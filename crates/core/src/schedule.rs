@@ -1,0 +1,218 @@
+//! Physical schedules: ASAP list scheduling with qubit exclusivity, ALAP
+//! slacks, and critical-path extraction.
+//!
+//! An instruction occupies all of its qubits for its whole duration, so a
+//! schedule is fully determined by the instruction *order* and the per-
+//! instruction latencies: each instruction starts as soon as every qubit it
+//! touches is free (as-soon-as-possible list scheduling). The compilation
+//! strategies differ in the order they produce and in how they price each
+//! instruction, not in the scheduling rule itself.
+
+use crate::instr::AggregateInstruction;
+use serde::{Deserialize, Serialize};
+
+/// One scheduled instruction.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScheduledInstruction {
+    /// Index into the instruction list the schedule was built from.
+    pub index: usize,
+    /// Start time in ns.
+    pub start: f64,
+    /// Duration in ns.
+    pub duration: f64,
+}
+
+impl ScheduledInstruction {
+    /// Finish time in ns.
+    pub fn finish(&self) -> f64 {
+        self.start + self.duration
+    }
+}
+
+/// A complete schedule of an instruction sequence.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Schedule {
+    /// Scheduled entries in the same order as the input instructions.
+    pub entries: Vec<ScheduledInstruction>,
+    /// Total duration (makespan) in ns.
+    pub makespan: f64,
+}
+
+impl Schedule {
+    /// The indices of instructions on the critical path (every instruction
+    /// whose finish time has zero slack), in start-time order.
+    pub fn critical_path(&self, slacks: &[f64]) -> Vec<usize> {
+        let mut on_path: Vec<usize> = self
+            .entries
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| slacks[*i] < 1e-9)
+            .map(|(i, _)| i)
+            .collect();
+        on_path.sort_by(|&a, &b| {
+            self.entries[a]
+                .start
+                .partial_cmp(&self.entries[b].start)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        on_path
+    }
+
+    /// Number of distinct "time steps" (instructions that start exactly when
+    /// another finishes are counted sequentially); useful for depth-style
+    /// reporting.
+    pub fn parallelism(&self) -> f64 {
+        if self.makespan <= 0.0 {
+            return 0.0;
+        }
+        let busy: f64 = self.entries.iter().map(|e| e.duration).sum();
+        busy / self.makespan
+    }
+}
+
+/// ASAP schedule of `instrs` in the given order with the given per-instruction
+/// latencies.
+///
+/// # Panics
+///
+/// Panics if `latencies.len() != instrs.len()`.
+pub fn asap_schedule(instrs: &[AggregateInstruction], latencies: &[f64]) -> Schedule {
+    assert_eq!(instrs.len(), latencies.len(), "latency count mismatch");
+    let n_qubits = instrs
+        .iter()
+        .flat_map(|i| i.qubits.iter().copied())
+        .max()
+        .map_or(0, |m| m + 1);
+    let mut qubit_free = vec![0.0f64; n_qubits];
+    let mut entries = Vec::with_capacity(instrs.len());
+    let mut makespan = 0.0f64;
+    for (index, (inst, &dur)) in instrs.iter().zip(latencies.iter()).enumerate() {
+        let start = inst
+            .qubits
+            .iter()
+            .map(|&q| qubit_free[q])
+            .fold(0.0f64, f64::max);
+        let finish = start + dur;
+        for &q in &inst.qubits {
+            qubit_free[q] = finish;
+        }
+        makespan = makespan.max(finish);
+        entries.push(ScheduledInstruction {
+            index,
+            start,
+            duration: dur,
+        });
+    }
+    Schedule { entries, makespan }
+}
+
+/// ALAP slacks: for every instruction, how much later it could finish without
+/// extending the makespan, given the same order and latencies.
+pub fn alap_slacks(
+    instrs: &[AggregateInstruction],
+    latencies: &[f64],
+    schedule: &Schedule,
+) -> Vec<f64> {
+    let n_qubits = instrs
+        .iter()
+        .flat_map(|i| i.qubits.iter().copied())
+        .max()
+        .map_or(0, |m| m + 1);
+    // Latest allowed finish per qubit, moving backwards.
+    let mut qubit_deadline = vec![schedule.makespan; n_qubits];
+    let mut slacks = vec![0.0f64; instrs.len()];
+    for (index, inst) in instrs.iter().enumerate().rev() {
+        let deadline = inst
+            .qubits
+            .iter()
+            .map(|&q| qubit_deadline[q])
+            .fold(f64::INFINITY, f64::min);
+        let latest_start = deadline - latencies[index];
+        let actual_start = schedule.entries[index].start;
+        slacks[index] = (latest_start - actual_start).max(0.0);
+        for &q in &inst.qubits {
+            qubit_deadline[q] = latest_start;
+        }
+    }
+    slacks
+}
+
+/// Convenience: ASAP makespan only.
+pub fn makespan(instrs: &[AggregateInstruction], latencies: &[f64]) -> f64 {
+    asap_schedule(instrs, latencies).makespan
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instr::AggregateInstruction as AI;
+    use qcc_ir::{Gate, Instruction};
+
+    fn gate(g: Gate, qs: &[usize]) -> AI {
+        AI::from_gate(Instruction::new(g, qs.to_vec()))
+    }
+
+    #[test]
+    fn serial_chain_adds_up() {
+        let instrs = vec![gate(Gate::Cnot, &[0, 1]), gate(Gate::Cnot, &[1, 2]), gate(Gate::Cnot, &[2, 3])];
+        let lat = vec![10.0, 20.0, 30.0];
+        let s = asap_schedule(&instrs, &lat);
+        assert!((s.makespan - 60.0).abs() < 1e-12);
+        assert!((s.entries[1].start - 10.0).abs() < 1e-12);
+        assert!((s.entries[2].start - 30.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn disjoint_instructions_run_in_parallel() {
+        let instrs = vec![gate(Gate::Cnot, &[0, 1]), gate(Gate::Cnot, &[2, 3])];
+        let s = asap_schedule(&instrs, &[25.0, 40.0]);
+        assert!((s.makespan - 40.0).abs() < 1e-12);
+        assert!(s.entries.iter().all(|e| e.start == 0.0));
+        assert!((s.parallelism() - 65.0 / 40.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn slacks_identify_critical_path() {
+        let instrs = vec![
+            gate(Gate::Cnot, &[0, 1]), // critical
+            gate(Gate::H, &[2]),       // lots of slack
+            gate(Gate::Cnot, &[1, 2]), // critical
+        ];
+        let lat = vec![30.0, 5.0, 30.0];
+        let s = asap_schedule(&instrs, &lat);
+        assert!((s.makespan - 60.0).abs() < 1e-12);
+        let slacks = alap_slacks(&instrs, &lat, &s);
+        assert!(slacks[0] < 1e-9);
+        assert!(slacks[2] < 1e-9);
+        assert!(slacks[1] > 20.0);
+        let cp = s.critical_path(&slacks);
+        assert_eq!(cp, vec![0, 2]);
+    }
+
+    #[test]
+    fn zero_length_schedule() {
+        let s = asap_schedule(&[], &[]);
+        assert_eq!(s.makespan, 0.0);
+        assert!(s.entries.is_empty());
+        assert_eq!(s.parallelism(), 0.0);
+    }
+
+    #[test]
+    fn order_matters_for_commuting_gates() {
+        // Three ZZ blocks on a line: scheduled in chain order they serialize,
+        // but putting the middle one last allows the outer pair in parallel.
+        let zz = |a: usize, b: usize| {
+            AI::from_gates(
+                vec![Instruction::new(Gate::Rzz(0.5), vec![a, b])],
+                crate::instr::InstructionOrigin::DiagonalBlock,
+            )
+        };
+        let lat = vec![20.0, 20.0, 20.0];
+        let chain = vec![zz(0, 1), zz(1, 2), zz(2, 3)];
+        let s_chain = asap_schedule(&chain, &lat);
+        let reordered = vec![zz(0, 1), zz(2, 3), zz(1, 2)];
+        let s_re = asap_schedule(&reordered, &lat);
+        assert!(s_chain.makespan > s_re.makespan);
+        assert!((s_re.makespan - 40.0).abs() < 1e-12);
+    }
+}

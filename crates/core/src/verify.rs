@@ -1,0 +1,251 @@
+//! Verification of compiled programs (§3.6).
+//!
+//! Two levels of checking mirror the paper's procedure:
+//!
+//! 1. **Circuit-level**: the compiled instruction stream implements the same
+//!    unitary as the input circuit, up to the qubit relabelling introduced by
+//!    the mapper (checked exactly with the state-vector simulator for circuits
+//!    small enough to simulate).
+//! 2. **Pulse-level**: a sample of aggregated instructions is handed to the
+//!    optimal-control unit and the resulting pulses are re-simulated and
+//!    compared against the instruction unitaries ("we sample 10 aggregated
+//!    instructions for each benchmark to verify that the control pulses of all
+//!    instructions produce the correct unitary").
+
+use crate::frontend;
+use crate::instr::AggregateInstruction;
+use crate::pipeline::CompilationResult;
+use qcc_control::{verify_pulse, GrapeLatencyModel, TransmonSystem};
+use qcc_hw::ControlLimits;
+use qcc_ir::Circuit;
+use qcc_math::CMatrix;
+
+/// Outcome of circuit-level verification.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CircuitVerification {
+    /// Whether the compiled program matches the input circuit.
+    pub equivalent: bool,
+    /// Maximum absolute deviation between the two unitaries after aligning
+    /// global phase and qubit relabelling.
+    pub max_deviation: f64,
+}
+
+/// Verifies that a compilation result implements the input circuit.
+///
+/// The compiled program acts on physical qubits; logical qubit `l` starts at
+/// physical `initial_layout[l]` and ends at `final_layout[l]`. The check
+/// compares `P_final† · U_compiled · P_initial` against the original circuit
+/// unitary (up to global phase), where the `P`s are the corresponding qubit
+/// permutations.
+///
+/// # Panics
+///
+/// Panics if the circuit has more than 10 qubits (use sampling-based pulse
+/// verification for larger programs).
+pub fn verify_compilation(circuit: &Circuit, result: &CompilationResult) -> CircuitVerification {
+    assert!(
+        circuit.n_qubits() <= 10,
+        "circuit-level verification only supported up to 10 qubits"
+    );
+    let n_logical = circuit.n_qubits();
+    let n_physical = result
+        .instructions
+        .iter()
+        .flat_map(|i| i.qubits.iter().copied())
+        .max()
+        .map_or(n_logical, |m| (m + 1).max(n_logical));
+
+    // Unitary of the compiled program on the physical register.
+    let compiled = frontend::to_circuit(&result.instructions, n_physical).unitary();
+
+    // Embed the original circuit on the physical register via the *initial*
+    // layout, then undo the relabelling produced by routing with the *final*
+    // layout: logical qubit l lives on initial_layout[l] at the start and on
+    // final_layout[l] at the end.
+    let mut original_embedded = Circuit::new(n_physical);
+    original_embedded.extend_mapped(circuit, &result.initial_layout.physical);
+    let original = original_embedded.unitary();
+
+    // Permutation matrix moving qubit initial_layout[l] to final_layout[l].
+    let perm = permutation_matrix(n_physical, |p| {
+        // Which logical qubit starts on physical p (if any)?
+        match result.initial_layout.physical.iter().position(|&x| x == p) {
+            Some(l) => result.final_layout.physical[l],
+            None => p,
+        }
+    });
+    let expected = perm.matmul(&original);
+
+    let mut max_dev = 0.0f64;
+    let equivalent = compiled.approx_eq_up_to_phase(&expected, 1e-7);
+    if !equivalent {
+        // Report how far off we are (phase-aligned Frobenius-style max entry).
+        let dev = qcc_math::phase_invariant_distance(&compiled, &expected);
+        max_dev = dev;
+    }
+    CircuitVerification {
+        equivalent,
+        max_deviation: max_dev,
+    }
+}
+
+/// Builds the permutation matrix sending basis qubit `p` to `dest(p)`.
+fn permutation_matrix(n_qubits: usize, dest: impl Fn(usize) -> usize) -> CMatrix {
+    let dim = 1usize << n_qubits;
+    let mut m = CMatrix::zeros(dim, dim);
+    for basis in 0..dim {
+        let mut image = 0usize;
+        for q in 0..n_qubits {
+            let bit = (basis >> (n_qubits - 1 - q)) & 1;
+            let d = dest(q);
+            image |= bit << (n_qubits - 1 - d);
+        }
+        m[(image, basis)] = qcc_math::C64::one();
+    }
+    m
+}
+
+/// Outcome of pulse-level verification of one instruction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InstructionPulseCheck {
+    /// Index of the instruction in the compiled program.
+    pub instruction_index: usize,
+    /// Width of the instruction.
+    pub width: usize,
+    /// Fidelity of the optimized pulse against the instruction unitary.
+    pub fidelity: f64,
+    /// Whether the fidelity cleared the threshold.
+    pub passed: bool,
+    /// Pulse duration found by the optimal-control unit (ns).
+    pub duration_ns: f64,
+}
+
+/// Samples up to `sample_count` multi-gate instructions from a compilation
+/// result, runs the optimal-control unit on each, and verifies the resulting
+/// pulses against the instruction unitaries.
+///
+/// Instructions wider than the control unit's limit are skipped (the paper
+/// likewise only optimizes instructions the control unit can handle).
+pub fn verify_sampled_pulses(
+    result: &CompilationResult,
+    control: &GrapeLatencyModel,
+    limits: ControlLimits,
+    sample_count: usize,
+    fidelity_threshold: f64,
+) -> Vec<InstructionPulseCheck> {
+    let mut checks = Vec::new();
+    let candidates: Vec<(usize, &AggregateInstruction)> = result
+        .instructions
+        .iter()
+        .enumerate()
+        .filter(|(_, inst)| inst.gate_count() > 1 || inst.width() >= 2)
+        .collect();
+    // Deterministic spread over the candidate list.
+    let step = (candidates.len() / sample_count.max(1)).max(1);
+    for (idx, inst) in candidates.into_iter().step_by(step).take(sample_count) {
+        let Some((duration, grape_result)) = control.optimize_instruction(&inst.constituents)
+        else {
+            continue;
+        };
+        let (target, support) = GrapeLatencyModel::target_unitary(&inst.constituents);
+        let system = TransmonSystem::fully_coupled(support.len(), limits);
+        let verification = verify_pulse(&system, &grape_result, &target, fidelity_threshold);
+        checks.push(InstructionPulseCheck {
+            instruction_index: idx,
+            width: inst.width(),
+            fidelity: verification.fidelity,
+            passed: verification.passed,
+            duration_ns: duration,
+        });
+    }
+    checks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::{CompilerOptions, Compiler, Strategy};
+    use qcc_hw::{CalibratedLatencyModel, Device, Topology};
+    use qcc_ir::Gate;
+
+    fn small_qaoa() -> Circuit {
+        let mut c = Circuit::new(3);
+        for q in 0..3 {
+            c.push(Gate::H, &[q]);
+        }
+        for &(a, b) in &[(0usize, 1usize), (1, 2), (0, 2)] {
+            c.push(Gate::Cnot, &[a, b]);
+            c.push(Gate::Rz(0.8), &[b]);
+            c.push(Gate::Cnot, &[a, b]);
+        }
+        for q in 0..3 {
+            c.push(Gate::Rx(0.4), &[q]);
+        }
+        c
+    }
+
+    #[test]
+    fn every_strategy_preserves_the_qaoa_unitary() {
+        let circuit = small_qaoa();
+        let device = Device::transmon(Topology::Linear(3));
+        let model = CalibratedLatencyModel::asplos19();
+        let compiler = Compiler::new(device, &model);
+        for strategy in Strategy::all() {
+            let result = compiler.compile(&circuit, &CompilerOptions::strategy(strategy));
+            let check = verify_compilation(&circuit, &result);
+            assert!(
+                check.equivalent,
+                "{strategy:?} broke the circuit (deviation {})",
+                check.max_deviation
+            );
+        }
+    }
+
+    #[test]
+    fn verification_catches_a_corrupted_program() {
+        let circuit = small_qaoa();
+        let device = Device::transmon(Topology::Linear(3));
+        let model = CalibratedLatencyModel::asplos19();
+        let compiler = Compiler::new(device, &model);
+        let mut result = compiler.compile(&circuit, &CompilerOptions::strategy(Strategy::Cls));
+        // Corrupt the program by dropping an instruction.
+        result.instructions.pop();
+        let check = verify_compilation(&circuit, &result);
+        assert!(!check.equivalent);
+        assert!(check.max_deviation > 1e-3);
+    }
+
+    #[test]
+    fn permutation_matrix_is_a_permutation() {
+        let m = permutation_matrix(3, |q| (q + 1) % 3);
+        assert!(m.is_unitary(1e-12));
+        // |100> (q0=1) should map to |010> (q1=1): index 4 -> 2.
+        assert!((m[(2, 4)].re - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sampled_pulse_verification_passes_on_small_instructions() {
+        let circuit = small_qaoa();
+        let device = Device::transmon(Topology::Linear(3));
+        let model = CalibratedLatencyModel::asplos19();
+        let compiler = Compiler::new(device, &model);
+        let result = compiler.compile(
+            &circuit,
+            &CompilerOptions {
+                strategy: Strategy::ClsAggregation,
+                aggregation: crate::aggregate::AggregationOptions::with_width(2),
+            },
+        );
+        let control = GrapeLatencyModel::fast_two_qubit();
+        let checks =
+            verify_sampled_pulses(&result, &control, ControlLimits::asplos19(), 2, 0.95);
+        assert!(!checks.is_empty());
+        for check in &checks {
+            assert!(
+                check.passed,
+                "pulse for instruction {} only reached fidelity {}",
+                check.instruction_index, check.fidelity
+            );
+        }
+    }
+}

@@ -1,0 +1,228 @@
+//! Graph generators for the benchmark suite's problem instances (Table 3):
+//! line graphs, grids, random d-regular graphs, and cluster graphs with tunable
+//! spatial locality.
+
+use crate::graph::Graph;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Path (line) graph on `n` vertices: `0 - 1 - 2 - … - (n-1)`.
+pub fn line_graph(n: usize) -> Graph {
+    let mut g = Graph::new(n);
+    for i in 0..n.saturating_sub(1) {
+        g.add_edge(i, i + 1, 1.0);
+    }
+    g
+}
+
+/// Cycle graph on `n` vertices.
+pub fn cycle_graph(n: usize) -> Graph {
+    let mut g = line_graph(n);
+    if n > 2 {
+        g.add_edge(n - 1, 0, 1.0);
+    }
+    g
+}
+
+/// Rectangular grid graph with `rows × cols` vertices, indexed row-major.
+pub fn grid_graph(rows: usize, cols: usize) -> Graph {
+    let mut g = Graph::new(rows * cols);
+    for r in 0..rows {
+        for c in 0..cols {
+            let v = r * cols + c;
+            if c + 1 < cols {
+                g.add_edge(v, v + 1, 1.0);
+            }
+            if r + 1 < rows {
+                g.add_edge(v, v + cols, 1.0);
+            }
+        }
+    }
+    g
+}
+
+/// Complete graph on `n` vertices.
+pub fn complete_graph(n: usize) -> Graph {
+    let mut g = Graph::new(n);
+    for a in 0..n {
+        for b in (a + 1)..n {
+            g.add_edge(a, b, 1.0);
+        }
+    }
+    g
+}
+
+/// Random `d`-regular graph via the pairing (configuration) model with
+/// rejection of self-loops and duplicate edges.
+///
+/// # Panics
+///
+/// Panics if `n * d` is odd or `d >= n`.
+pub fn random_regular_graph<R: Rng + ?Sized>(rng: &mut R, n: usize, d: usize) -> Graph {
+    assert!(n * d % 2 == 0, "n*d must be even for a d-regular graph");
+    assert!(d < n, "degree must be below vertex count");
+    'attempt: for _ in 0..1000 {
+        let mut stubs: Vec<usize> = (0..n).flat_map(|v| std::iter::repeat(v).take(d)).collect();
+        stubs.shuffle(rng);
+        let mut g = Graph::new(n);
+        for pair in stubs.chunks(2) {
+            let (a, b) = (pair[0], pair[1]);
+            if a == b || g.has_edge(a, b) {
+                continue 'attempt;
+            }
+            g.add_edge(a, b, 1.0);
+        }
+        return g;
+    }
+    // Fall back to a deterministic circulant d-regular graph when rejection
+    // sampling keeps failing (tiny n); still d-regular for even d.
+    let mut g = Graph::new(n);
+    for v in 0..n {
+        for k in 1..=(d / 2) {
+            g.add_edge(v, (v + k) % n, 1.0);
+        }
+    }
+    if d % 2 == 1 && n % 2 == 0 {
+        for v in 0..n / 2 {
+            g.add_edge(v, v + n / 2, 1.0);
+        }
+    }
+    g
+}
+
+/// Cluster graph: `clusters` dense communities of `cluster_size` vertices each
+/// (intra-cluster edge probability `p_in`), with `inter_edges` random edges
+/// between distinct clusters. Models the low-spatial-locality MAXCUT instances
+/// of the paper's benchmark suite.
+pub fn cluster_graph<R: Rng + ?Sized>(
+    rng: &mut R,
+    clusters: usize,
+    cluster_size: usize,
+    p_in: f64,
+    inter_edges: usize,
+) -> Graph {
+    let n = clusters * cluster_size;
+    let mut g = Graph::new(n);
+    for c in 0..clusters {
+        let base = c * cluster_size;
+        for a in 0..cluster_size {
+            for b in (a + 1)..cluster_size {
+                if rng.gen_bool(p_in.clamp(0.0, 1.0)) {
+                    g.add_edge(base + a, base + b, 1.0);
+                }
+            }
+        }
+        // Guarantee each cluster is connected by threading a path through it.
+        for a in 0..cluster_size.saturating_sub(1) {
+            if !g.has_edge(base + a, base + a + 1) {
+                g.add_edge(base + a, base + a + 1, 1.0);
+            }
+        }
+    }
+    let mut added = 0usize;
+    let mut guard = 0usize;
+    while added < inter_edges && guard < inter_edges * 50 + 100 {
+        guard += 1;
+        let ca = rng.gen_range(0..clusters);
+        let cb = rng.gen_range(0..clusters);
+        if ca == cb {
+            continue;
+        }
+        let a = ca * cluster_size + rng.gen_range(0..cluster_size);
+        let b = cb * cluster_size + rng.gen_range(0..cluster_size);
+        if !g.has_edge(a, b) {
+            g.add_edge(a, b, 1.0);
+            added += 1;
+        }
+    }
+    g
+}
+
+/// Erdős–Rényi random graph `G(n, p)`.
+pub fn erdos_renyi<R: Rng + ?Sized>(rng: &mut R, n: usize, p: f64) -> Graph {
+    let mut g = Graph::new(n);
+    for a in 0..n {
+        for b in (a + 1)..n {
+            if rng.gen_bool(p.clamp(0.0, 1.0)) {
+                g.add_edge(a, b, 1.0);
+            }
+        }
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn line_and_cycle_counts() {
+        let l = line_graph(20);
+        assert_eq!(l.len(), 20);
+        assert_eq!(l.edge_count(), 19);
+        assert!(l.is_connected());
+        let c = cycle_graph(20);
+        assert_eq!(c.edge_count(), 20);
+        assert_eq!(c.degree(0), 2);
+    }
+
+    #[test]
+    fn grid_structure() {
+        let g = grid_graph(3, 4);
+        assert_eq!(g.len(), 12);
+        assert_eq!(g.edge_count(), 3 * 3 + 2 * 4); // horizontal + vertical
+        assert!(g.is_connected());
+        // Corner has degree 2, interior degree 4.
+        assert_eq!(g.degree(0), 2);
+        assert_eq!(g.degree(5), 4);
+    }
+
+    #[test]
+    fn complete_graph_edge_count() {
+        let g = complete_graph(6);
+        assert_eq!(g.edge_count(), 15);
+        assert_eq!(g.degree(3), 5);
+    }
+
+    #[test]
+    fn random_regular_graph_degrees() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let g = random_regular_graph(&mut rng, 30, 4);
+        assert_eq!(g.len(), 30);
+        for v in 0..30 {
+            assert_eq!(g.degree(v), 4, "vertex {v} has wrong degree");
+        }
+    }
+
+    #[test]
+    fn cluster_graph_has_clusters_and_bridges() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let g = cluster_graph(&mut rng, 5, 6, 0.8, 6);
+        assert_eq!(g.len(), 30);
+        assert!(g.edge_count() > 5 * 5); // at least the connecting paths
+        // Bridges exist: at least one edge between clusters.
+        let has_inter = g
+            .edges()
+            .iter()
+            .any(|(a, b, _)| a / 6 != b / 6);
+        assert!(has_inter);
+    }
+
+    #[test]
+    fn erdos_renyi_extremes() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let empty = erdos_renyi(&mut rng, 10, 0.0);
+        assert_eq!(empty.edge_count(), 0);
+        let full = erdos_renyi(&mut rng, 10, 1.0);
+        assert_eq!(full.edge_count(), 45);
+    }
+
+    #[test]
+    fn generators_are_reproducible_with_seed() {
+        let a = random_regular_graph(&mut StdRng::seed_from_u64(9), 20, 4);
+        let b = random_regular_graph(&mut StdRng::seed_from_u64(9), 20, 4);
+        assert_eq!(a.edges(), b.edges());
+    }
+}

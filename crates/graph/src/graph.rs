@@ -1,0 +1,311 @@
+//! A small undirected weighted graph used for qubit-interaction analysis,
+//! scheduling conflict graphs, and device topologies.
+
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// An undirected graph with `f64` edge weights, stored as adjacency lists.
+///
+/// Vertices are dense indices `0..n`. Parallel edges are merged by adding their
+/// weights; self-loops are allowed (they appear once in the adjacency list).
+///
+/// # Examples
+///
+/// ```
+/// use qcc_graph::Graph;
+/// let mut g = Graph::new(3);
+/// g.add_edge(0, 1, 1.0);
+/// g.add_edge(1, 2, 2.0);
+/// assert_eq!(g.degree(1), 2);
+/// assert!(g.is_connected());
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Graph {
+    n: usize,
+    adj: Vec<Vec<(usize, f64)>>,
+    edge_count: usize,
+}
+
+impl Graph {
+    /// Creates a graph with `n` vertices and no edges.
+    pub fn new(n: usize) -> Self {
+        Self {
+            n,
+            adj: vec![Vec::new(); n],
+            edge_count: 0,
+        }
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// `true` when the graph has no vertices.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Number of (undirected) edges.
+    #[inline]
+    pub fn edge_count(&self) -> usize {
+        self.edge_count
+    }
+
+    /// Adds an undirected edge; merging weights if the edge already exists.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either endpoint is out of range.
+    pub fn add_edge(&mut self, a: usize, b: usize, w: f64) {
+        assert!(a < self.n && b < self.n, "edge endpoint out of range");
+        if let Some(entry) = self.adj[a].iter_mut().find(|(v, _)| *v == b) {
+            entry.1 += w;
+            if a != b {
+                if let Some(rev) = self.adj[b].iter_mut().find(|(v, _)| *v == a) {
+                    rev.1 += w;
+                }
+            }
+            return;
+        }
+        self.adj[a].push((b, w));
+        if a != b {
+            self.adj[b].push((a, w));
+        }
+        self.edge_count += 1;
+    }
+
+    /// Adds a vertex and returns its index.
+    pub fn add_vertex(&mut self) -> usize {
+        self.adj.push(Vec::new());
+        self.n += 1;
+        self.n - 1
+    }
+
+    /// Returns the weight of edge `(a, b)` if present.
+    pub fn edge_weight(&self, a: usize, b: usize) -> Option<f64> {
+        self.adj.get(a)?.iter().find(|(v, _)| *v == b).map(|(_, w)| *w)
+    }
+
+    /// `true` when an edge `(a, b)` exists.
+    pub fn has_edge(&self, a: usize, b: usize) -> bool {
+        self.edge_weight(a, b).is_some()
+    }
+
+    /// Neighbors of `v` with weights.
+    pub fn neighbors(&self, v: usize) -> &[(usize, f64)] {
+        &self.adj[v]
+    }
+
+    /// Degree (number of incident edges) of `v`.
+    pub fn degree(&self, v: usize) -> usize {
+        self.adj[v].len()
+    }
+
+    /// Sum of the weights of edges incident to `v`.
+    pub fn weighted_degree(&self, v: usize) -> f64 {
+        self.adj[v].iter().map(|(_, w)| *w).sum()
+    }
+
+    /// Iterates over every undirected edge once as `(a, b, w)` with `a <= b`.
+    pub fn edges(&self) -> Vec<(usize, usize, f64)> {
+        let mut out = Vec::with_capacity(self.edge_count);
+        for a in 0..self.n {
+            for &(b, w) in &self.adj[a] {
+                if a <= b {
+                    out.push((a, b, w));
+                }
+            }
+        }
+        out
+    }
+
+    /// Total edge weight.
+    pub fn total_weight(&self) -> f64 {
+        self.edges().iter().map(|(_, _, w)| *w).sum()
+    }
+
+    /// Breadth-first distances (in hops) from `src`; unreachable vertices get
+    /// `usize::MAX`.
+    pub fn bfs_distances(&self, src: usize) -> Vec<usize> {
+        let mut dist = vec![usize::MAX; self.n];
+        let mut q = VecDeque::new();
+        dist[src] = 0;
+        q.push_back(src);
+        while let Some(u) = q.pop_front() {
+            for &(v, _) in &self.adj[u] {
+                if dist[v] == usize::MAX {
+                    dist[v] = dist[u] + 1;
+                    q.push_back(v);
+                }
+            }
+        }
+        dist
+    }
+
+    /// Shortest path (fewest hops) from `src` to `dst`, inclusive of both
+    /// endpoints. Returns `None` when unreachable.
+    pub fn shortest_path(&self, src: usize, dst: usize) -> Option<Vec<usize>> {
+        if src == dst {
+            return Some(vec![src]);
+        }
+        let mut prev = vec![usize::MAX; self.n];
+        let mut visited = vec![false; self.n];
+        let mut q = VecDeque::new();
+        visited[src] = true;
+        q.push_back(src);
+        while let Some(u) = q.pop_front() {
+            for &(v, _) in &self.adj[u] {
+                if !visited[v] {
+                    visited[v] = true;
+                    prev[v] = u;
+                    if v == dst {
+                        let mut path = vec![dst];
+                        let mut cur = dst;
+                        while prev[cur] != usize::MAX {
+                            cur = prev[cur];
+                            path.push(cur);
+                        }
+                        path.reverse();
+                        return Some(path);
+                    }
+                    q.push_back(v);
+                }
+            }
+        }
+        None
+    }
+
+    /// Connected components, each a sorted list of vertices.
+    pub fn connected_components(&self) -> Vec<Vec<usize>> {
+        let mut seen = vec![false; self.n];
+        let mut comps = Vec::new();
+        for s in 0..self.n {
+            if seen[s] {
+                continue;
+            }
+            let mut comp = Vec::new();
+            let mut q = VecDeque::new();
+            seen[s] = true;
+            q.push_back(s);
+            while let Some(u) = q.pop_front() {
+                comp.push(u);
+                for &(v, _) in &self.adj[u] {
+                    if !seen[v] {
+                        seen[v] = true;
+                        q.push_back(v);
+                    }
+                }
+            }
+            comp.sort_unstable();
+            comps.push(comp);
+        }
+        comps
+    }
+
+    /// `true` when the graph is connected (or has ≤ 1 vertex).
+    pub fn is_connected(&self) -> bool {
+        self.connected_components().len() <= 1
+    }
+
+    /// Builds the subgraph induced by `vertices`; returns the subgraph and the
+    /// mapping from new indices to original vertex ids.
+    pub fn induced_subgraph(&self, vertices: &[usize]) -> (Graph, Vec<usize>) {
+        let mut index_of = vec![usize::MAX; self.n];
+        for (new, &old) in vertices.iter().enumerate() {
+            index_of[old] = new;
+        }
+        let mut sub = Graph::new(vertices.len());
+        for &old in vertices {
+            for &(nbr, w) in &self.adj[old] {
+                if index_of[nbr] != usize::MAX && old <= nbr {
+                    sub.add_edge(index_of[old], index_of[nbr], w);
+                }
+            }
+        }
+        (sub, vertices.to_vec())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path_graph(n: usize) -> Graph {
+        let mut g = Graph::new(n);
+        for i in 0..n.saturating_sub(1) {
+            g.add_edge(i, i + 1, 1.0);
+        }
+        g
+    }
+
+    #[test]
+    fn add_and_query_edges() {
+        let mut g = Graph::new(4);
+        g.add_edge(0, 1, 1.5);
+        g.add_edge(0, 1, 0.5); // merges
+        g.add_edge(2, 3, 1.0);
+        assert_eq!(g.edge_count(), 2);
+        assert_eq!(g.edge_weight(0, 1), Some(2.0));
+        assert_eq!(g.edge_weight(1, 0), Some(2.0));
+        assert!(!g.has_edge(0, 2));
+        assert_eq!(g.degree(0), 1);
+        assert!((g.total_weight() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bfs_distances_on_path() {
+        let g = path_graph(5);
+        let d = g.bfs_distances(0);
+        assert_eq!(d, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn shortest_path_endpoints() {
+        let g = path_graph(5);
+        assert_eq!(g.shortest_path(0, 4).unwrap(), vec![0, 1, 2, 3, 4]);
+        assert_eq!(g.shortest_path(2, 2).unwrap(), vec![2]);
+        let mut disconnected = path_graph(3);
+        disconnected.add_vertex();
+        assert!(disconnected.shortest_path(0, 3).is_none());
+    }
+
+    #[test]
+    fn connected_components_detection() {
+        let mut g = Graph::new(6);
+        g.add_edge(0, 1, 1.0);
+        g.add_edge(1, 2, 1.0);
+        g.add_edge(3, 4, 1.0);
+        let comps = g.connected_components();
+        assert_eq!(comps.len(), 3);
+        assert!(comps.contains(&vec![0, 1, 2]));
+        assert!(comps.contains(&vec![3, 4]));
+        assert!(comps.contains(&vec![5]));
+        assert!(!g.is_connected());
+        assert!(path_graph(4).is_connected());
+    }
+
+    #[test]
+    fn induced_subgraph_remaps_vertices() {
+        let mut g = Graph::new(5);
+        g.add_edge(0, 2, 1.0);
+        g.add_edge(2, 4, 2.0);
+        g.add_edge(1, 3, 1.0);
+        let (sub, map) = g.induced_subgraph(&[0, 2, 4]);
+        assert_eq!(sub.len(), 3);
+        assert_eq!(sub.edge_count(), 2);
+        assert_eq!(map, vec![0, 2, 4]);
+        assert_eq!(sub.edge_weight(0, 1), Some(1.0));
+        assert_eq!(sub.edge_weight(1, 2), Some(2.0));
+    }
+
+    #[test]
+    fn weighted_degree_sums() {
+        let mut g = Graph::new(3);
+        g.add_edge(0, 1, 1.0);
+        g.add_edge(0, 2, 2.5);
+        assert!((g.weighted_degree(0) - 3.5).abs() < 1e-12);
+    }
+}

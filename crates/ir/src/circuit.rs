@@ -1,0 +1,461 @@
+//! Quantum circuits: ordered lists of gate instructions on named qubits.
+
+use crate::gate::Gate;
+use qcc_math::CMatrix;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fmt;
+
+/// A gate applied to specific qubits.
+///
+/// Qubits are dense indices `0..n_qubits` of the owning [`Circuit`]. The
+/// ordering of `qubits` matters (e.g. control first for CNOT).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Instruction {
+    /// The logical gate.
+    pub gate: Gate,
+    /// Target qubits, in gate-defined order.
+    pub qubits: Vec<usize>,
+}
+
+impl Instruction {
+    /// Creates an instruction, checking the arity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the number of qubits does not match the gate arity or if a
+    /// qubit repeats.
+    pub fn new(gate: Gate, qubits: Vec<usize>) -> Self {
+        assert_eq!(
+            gate.arity(),
+            qubits.len(),
+            "gate {gate} expects {} qubits, got {}",
+            gate.arity(),
+            qubits.len()
+        );
+        for (i, q) in qubits.iter().enumerate() {
+            assert!(
+                !qubits[..i].contains(q),
+                "instruction {gate} has duplicate qubit {q}"
+            );
+        }
+        Self { gate, qubits }
+    }
+
+    /// Whether the instruction touches qubit `q`.
+    pub fn acts_on(&self, q: usize) -> bool {
+        self.qubits.contains(&q)
+    }
+
+    /// Position of qubit `q` within the instruction's operand list.
+    pub fn position_of(&self, q: usize) -> Option<usize> {
+        self.qubits.iter().position(|&x| x == q)
+    }
+
+    /// Qubits shared with another instruction.
+    pub fn shared_qubits(&self, other: &Instruction) -> Vec<usize> {
+        self.qubits
+            .iter()
+            .copied()
+            .filter(|q| other.acts_on(*q))
+            .collect()
+    }
+
+    /// The unitary of this instruction embedded into an `n`-qubit space.
+    pub fn embedded_matrix(&self, n: usize) -> CMatrix {
+        self.gate.matrix().embed(n, &self.qubits)
+    }
+}
+
+impl fmt::Display for Instruction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.gate)?;
+        write!(f, " ")?;
+        let qs: Vec<String> = self.qubits.iter().map(|q| format!("q{q}")).collect();
+        write!(f, "{}", qs.join(","))
+    }
+}
+
+/// A quantum circuit over `n_qubits` qubits.
+///
+/// # Examples
+///
+/// ```
+/// use qcc_ir::{Circuit, Gate};
+/// let mut c = Circuit::new(2);
+/// c.push(Gate::H, &[0]);
+/// c.push(Gate::Cnot, &[0, 1]);
+/// assert_eq!(c.len(), 2);
+/// assert_eq!(c.depth(), 2);
+/// assert_eq!(c.two_qubit_count(), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct Circuit {
+    n_qubits: usize,
+    instructions: Vec<Instruction>,
+}
+
+impl Circuit {
+    /// Creates an empty circuit on `n_qubits` qubits.
+    pub fn new(n_qubits: usize) -> Self {
+        Self {
+            n_qubits,
+            instructions: Vec::new(),
+        }
+    }
+
+    /// Number of qubits.
+    #[inline]
+    pub fn n_qubits(&self) -> usize {
+        self.n_qubits
+    }
+
+    /// Number of instructions.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.instructions.len()
+    }
+
+    /// `true` when the circuit contains no instructions.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.instructions.is_empty()
+    }
+
+    /// The instruction list.
+    #[inline]
+    pub fn instructions(&self) -> &[Instruction] {
+        &self.instructions
+    }
+
+    /// Appends a gate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a qubit index is out of range or the arity is wrong.
+    pub fn push(&mut self, gate: Gate, qubits: &[usize]) -> &mut Self {
+        for q in qubits {
+            assert!(*q < self.n_qubits, "qubit {q} out of range");
+        }
+        self.instructions.push(Instruction::new(gate, qubits.to_vec()));
+        self
+    }
+
+    /// Appends an existing instruction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a qubit index is out of range.
+    pub fn push_instruction(&mut self, inst: Instruction) -> &mut Self {
+        for q in &inst.qubits {
+            assert!(*q < self.n_qubits, "qubit {q} out of range");
+        }
+        self.instructions.push(inst);
+        self
+    }
+
+    /// Appends every instruction of `other` (which must have the same width).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the qubit counts differ.
+    pub fn extend(&mut self, other: &Circuit) -> &mut Self {
+        assert_eq!(self.n_qubits, other.n_qubits, "circuit width mismatch");
+        self.instructions.extend(other.instructions.iter().cloned());
+        self
+    }
+
+    /// Appends `other` with its qubit `i` mapped to `mapping[i]` of `self`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the mapping is too short or out of range.
+    pub fn extend_mapped(&mut self, other: &Circuit, mapping: &[usize]) -> &mut Self {
+        assert!(mapping.len() >= other.n_qubits, "mapping too short");
+        for inst in other.instructions() {
+            let qubits: Vec<usize> = inst.qubits.iter().map(|&q| mapping[q]).collect();
+            self.push(inst.gate, &qubits);
+        }
+        self
+    }
+
+    /// The inverse circuit (reversed order, each gate daggered).
+    pub fn inverse(&self) -> Circuit {
+        let mut inv = Circuit::new(self.n_qubits);
+        for inst in self.instructions.iter().rev() {
+            inv.push(inst.gate.dagger(), &inst.qubits);
+        }
+        inv
+    }
+
+    /// Circuit depth counting every instruction as one time step.
+    pub fn depth(&self) -> usize {
+        let mut level = vec![0usize; self.n_qubits];
+        let mut depth = 0;
+        for inst in &self.instructions {
+            let start = inst.qubits.iter().map(|&q| level[q]).max().unwrap_or(0);
+            let end = start + 1;
+            for &q in &inst.qubits {
+                level[q] = end;
+            }
+            depth = depth.max(end);
+        }
+        depth
+    }
+
+    /// Weighted depth (critical path) where each instruction's duration is
+    /// given by `cost`.
+    pub fn weighted_depth<F: Fn(&Instruction) -> f64>(&self, cost: F) -> f64 {
+        let mut level = vec![0.0f64; self.n_qubits];
+        let mut depth = 0.0f64;
+        for inst in &self.instructions {
+            let start = inst
+                .qubits
+                .iter()
+                .map(|&q| level[q])
+                .fold(0.0f64, f64::max);
+            let end = start + cost(inst);
+            for &q in &inst.qubits {
+                level[q] = end;
+            }
+            depth = depth.max(end);
+        }
+        depth
+    }
+
+    /// Total number of two-qubit instructions.
+    pub fn two_qubit_count(&self) -> usize {
+        self.instructions.iter().filter(|i| i.qubits.len() == 2).count()
+    }
+
+    /// Histogram of gate names.
+    pub fn gate_counts(&self) -> HashMap<&'static str, usize> {
+        let mut counts = HashMap::new();
+        for inst in &self.instructions {
+            *counts.entry(inst.gate.name()).or_insert(0) += 1;
+        }
+        counts
+    }
+
+    /// The qubit-interaction graph: one vertex per qubit, edge weight = number
+    /// of two-qubit instructions between the pair. Used by the mapper.
+    pub fn interaction_edges(&self) -> Vec<(usize, usize, f64)> {
+        let mut weights: HashMap<(usize, usize), f64> = HashMap::new();
+        for inst in &self.instructions {
+            if inst.qubits.len() == 2 {
+                let (a, b) = (inst.qubits[0].min(inst.qubits[1]), inst.qubits[0].max(inst.qubits[1]));
+                *weights.entry((a, b)).or_insert(0.0) += 1.0;
+            }
+        }
+        weights.into_iter().map(|((a, b), w)| (a, b, w)).collect()
+    }
+
+    /// Builds the full `2^n × 2^n` unitary of the circuit.
+    ///
+    /// Only intended for small circuits (n ≤ 12 or so); larger requests panic
+    /// to avoid accidental exponential blow-ups.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the circuit has more than 12 qubits.
+    pub fn unitary(&self) -> CMatrix {
+        assert!(
+            self.n_qubits <= 12,
+            "refusing to build a dense unitary for {} qubits",
+            self.n_qubits
+        );
+        let dim = 1usize << self.n_qubits;
+        let mut u = CMatrix::identity(dim);
+        for inst in &self.instructions {
+            let g = inst.embedded_matrix(self.n_qubits);
+            u = g.matmul(&u);
+        }
+        u
+    }
+
+    /// Returns a copy with any `is_identity` gates removed.
+    pub fn without_identities(&self) -> Circuit {
+        let mut c = Circuit::new(self.n_qubits);
+        for inst in &self.instructions {
+            if !inst.gate.is_identity() {
+                c.push_instruction(inst.clone());
+            }
+        }
+        c
+    }
+
+    /// The list of qubits that are actually touched by at least one gate.
+    pub fn active_qubits(&self) -> Vec<usize> {
+        let mut used = vec![false; self.n_qubits];
+        for inst in &self.instructions {
+            for &q in &inst.qubits {
+                used[q] = true;
+            }
+        }
+        (0..self.n_qubits).filter(|&q| used[q]).collect()
+    }
+}
+
+impl fmt::Display for Circuit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Circuit({} qubits, {} gates)", self.n_qubits, self.len())?;
+        for inst in &self.instructions {
+            writeln!(f, "  {inst}")?;
+        }
+        Ok(())
+    }
+}
+
+impl FromIterator<Instruction> for Circuit {
+    fn from_iter<T: IntoIterator<Item = Instruction>>(iter: T) -> Self {
+        let insts: Vec<Instruction> = iter.into_iter().collect();
+        let n = insts
+            .iter()
+            .flat_map(|i| i.qubits.iter().copied())
+            .max()
+            .map_or(0, |m| m + 1);
+        let mut c = Circuit::new(n);
+        for i in insts {
+            c.push_instruction(i);
+        }
+        c
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qcc_math::pauli;
+
+    fn bell_circuit() -> Circuit {
+        let mut c = Circuit::new(2);
+        c.push(Gate::H, &[0]);
+        c.push(Gate::Cnot, &[0, 1]);
+        c
+    }
+
+    #[test]
+    fn push_and_counts() {
+        let c = bell_circuit();
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.depth(), 2);
+        assert_eq!(c.two_qubit_count(), 1);
+        assert_eq!(c.gate_counts()["h"], 1);
+        assert_eq!(c.active_qubits(), vec![0, 1]);
+    }
+
+    #[test]
+    fn depth_accounts_for_parallel_gates() {
+        let mut c = Circuit::new(4);
+        c.push(Gate::H, &[0]);
+        c.push(Gate::H, &[1]);
+        c.push(Gate::H, &[2]);
+        c.push(Gate::H, &[3]);
+        assert_eq!(c.depth(), 1);
+        c.push(Gate::Cnot, &[0, 1]);
+        c.push(Gate::Cnot, &[2, 3]);
+        assert_eq!(c.depth(), 2);
+        c.push(Gate::Cnot, &[1, 2]);
+        assert_eq!(c.depth(), 3);
+    }
+
+    #[test]
+    fn weighted_depth_uses_costs() {
+        let mut c = Circuit::new(2);
+        c.push(Gate::H, &[0]);
+        c.push(Gate::H, &[1]);
+        c.push(Gate::Cnot, &[0, 1]);
+        let d = c.weighted_depth(|i| if i.qubits.len() == 2 { 10.0 } else { 1.0 });
+        assert!((d - 11.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unitary_of_bell_circuit() {
+        let c = bell_circuit();
+        let u = c.unitary();
+        // Column 0 should be the Bell state (|00> + |11>)/√2.
+        let inv_sqrt2 = 1.0 / 2f64.sqrt();
+        assert!((u[(0, 0)].re - inv_sqrt2).abs() < 1e-12);
+        assert!((u[(3, 0)].re - inv_sqrt2).abs() < 1e-12);
+        assert!(u[(1, 0)].abs() < 1e-12);
+        assert!(u.is_unitary(1e-12));
+    }
+
+    #[test]
+    fn inverse_cancels_circuit() {
+        let mut c = Circuit::new(3);
+        c.push(Gate::H, &[0]);
+        c.push(Gate::Rz(0.8), &[1]);
+        c.push(Gate::Cnot, &[0, 2]);
+        c.push(Gate::Rzz(1.1), &[1, 2]);
+        c.push(Gate::T, &[2]);
+        let mut full = c.clone();
+        full.extend(&c.inverse());
+        assert!(full.unitary().is_identity_up_to_phase(1e-10));
+    }
+
+    #[test]
+    fn extend_mapped_remaps_qubits() {
+        let mut small = Circuit::new(2);
+        small.push(Gate::Cnot, &[0, 1]);
+        let mut big = Circuit::new(4);
+        big.extend_mapped(&small, &[3, 1]);
+        assert_eq!(big.instructions()[0].qubits, vec![3, 1]);
+    }
+
+    #[test]
+    fn interaction_edges_accumulate_weights() {
+        let mut c = Circuit::new(3);
+        c.push(Gate::Cnot, &[0, 1]);
+        c.push(Gate::Cnot, &[1, 0]);
+        c.push(Gate::Cz, &[1, 2]);
+        let mut edges = c.interaction_edges();
+        edges.sort_by_key(|e| (e.0, e.1));
+        assert_eq!(edges.len(), 2);
+        assert_eq!(edges[0].0, 0);
+        assert!((edges[0].2 - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn circuit_unitary_matches_kron_for_disjoint_gates() {
+        let mut c = Circuit::new(2);
+        c.push(Gate::X, &[0]);
+        c.push(Gate::H, &[1]);
+        let want = pauli::sigma_x().kron(&pauli::hadamard());
+        assert!(c.unitary().approx_eq(&want, 1e-12));
+    }
+
+    #[test]
+    fn without_identities_removes_only_identities() {
+        let mut c = Circuit::new(2);
+        c.push(Gate::I, &[0]);
+        c.push(Gate::Rz(0.0), &[1]);
+        c.push(Gate::X, &[0]);
+        assert_eq!(c.without_identities().len(), 1);
+    }
+
+    #[test]
+    fn from_iterator_builds_circuit() {
+        let c: Circuit = vec![
+            Instruction::new(Gate::H, vec![0]),
+            Instruction::new(Gate::Cnot, vec![0, 2]),
+        ]
+        .into_iter()
+        .collect();
+        assert_eq!(c.n_qubits(), 3);
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_qubit_panics() {
+        let mut c = Circuit::new(2);
+        c.push(Gate::X, &[5]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn duplicate_qubit_panics() {
+        Instruction::new(Gate::Cnot, vec![1, 1]);
+    }
+}

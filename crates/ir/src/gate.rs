@@ -1,0 +1,459 @@
+//! The logical gate set.
+//!
+//! This is the "rich virtual ISA" of standard gate-based quantum compilation
+//! (§2.2 of the paper): single-qubit rotations and Cliffords plus the common
+//! two- and three-qubit gates, each with an exact unitary matrix. The compiler
+//! front-end flattens everything down to 1- and 2-qubit gates before analysis.
+
+use qcc_math::{pauli, CMatrix, C64};
+use serde::{Deserialize, Serialize};
+use std::f64::consts::{FRAC_PI_2, FRAC_PI_4, PI};
+use std::fmt;
+
+/// How a gate acts on one particular qubit, used for fast per-qubit
+/// commutation checks (the "commutation group" machinery of §3.3.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AxisAction {
+    /// No effect on this qubit (identity factor).
+    Identity,
+    /// Diagonal in the computational basis (Z-like): Rz, Z, S, T, the control
+    /// of a CNOT/CZ, either qubit of a ZZ rotation.
+    Diagonal,
+    /// X-like action: Rx, X, the target of a CNOT.
+    XAxis,
+    /// Y-like action: Ry, Y.
+    YAxis,
+    /// Anything else (Hadamard, SWAP/iSWAP factors, general rotations).
+    General,
+}
+
+impl AxisAction {
+    /// Whether two single-qubit actions commute.
+    ///
+    /// Identity commutes with everything; equal axes commute; everything else
+    /// is treated conservatively as non-commuting.
+    pub fn commutes_with(self, other: AxisAction) -> bool {
+        use AxisAction::*;
+        matches!(
+            (self, other),
+            (Identity, _) | (_, Identity) | (Diagonal, Diagonal) | (XAxis, XAxis) | (YAxis, YAxis)
+        )
+    }
+}
+
+/// A logical quantum gate (without target qubits).
+///
+/// The arity of the gate is fixed by the variant; target qubits live in
+/// [`crate::circuit::Instruction`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Gate {
+    /// Identity (used for the virtual GDG root).
+    I,
+    /// Pauli X.
+    X,
+    /// Pauli Y.
+    Y,
+    /// Pauli Z.
+    Z,
+    /// Hadamard.
+    H,
+    /// Phase gate S = diag(1, i).
+    S,
+    /// S†.
+    Sdg,
+    /// T = diag(1, e^{iπ/4}).
+    T,
+    /// T†.
+    Tdg,
+    /// Rotation about X by the given angle.
+    Rx(f64),
+    /// Rotation about Y by the given angle.
+    Ry(f64),
+    /// Rotation about Z by the given angle.
+    Rz(f64),
+    /// Phase gate diag(1, e^{iφ}).
+    Phase(f64),
+    /// Controlled-NOT (control is the first qubit of the instruction).
+    Cnot,
+    /// Controlled-Z.
+    Cz,
+    /// Controlled phase diag(1,1,1,e^{iφ}).
+    CPhase(f64),
+    /// SWAP.
+    Swap,
+    /// iSWAP — the native two-qubit gate of XY-coupled architectures.
+    ISwap,
+    /// √iSWAP.
+    SqrtISwap,
+    /// ZZ interaction rotation exp(-i θ/2 Z⊗Z) — the diagonal unitary
+    /// implemented by a CNOT–Rz(θ)–CNOT block (§4.2).
+    Rzz(f64),
+    /// XX+YY interaction rotation exp(-i θ/2 (XX+YY)/2).
+    Rxy(f64),
+    /// Toffoli (CCX); flattened by the front-end.
+    Toffoli,
+    /// Fredkin (CSWAP); flattened by the front-end.
+    Fredkin,
+}
+
+impl Gate {
+    /// Number of qubits the gate acts on.
+    pub fn arity(&self) -> usize {
+        use Gate::*;
+        match self {
+            I | X | Y | Z | H | S | Sdg | T | Tdg | Rx(_) | Ry(_) | Rz(_) | Phase(_) => 1,
+            Cnot | Cz | CPhase(_) | Swap | ISwap | SqrtISwap | Rzz(_) | Rxy(_) => 2,
+            Toffoli | Fredkin => 3,
+        }
+    }
+
+    /// Canonical lower-case name (matches the QASM spelling where one exists).
+    pub fn name(&self) -> &'static str {
+        use Gate::*;
+        match self {
+            I => "id",
+            X => "x",
+            Y => "y",
+            Z => "z",
+            H => "h",
+            S => "s",
+            Sdg => "sdg",
+            T => "t",
+            Tdg => "tdg",
+            Rx(_) => "rx",
+            Ry(_) => "ry",
+            Rz(_) => "rz",
+            Phase(_) => "u1",
+            Cnot => "cx",
+            Cz => "cz",
+            CPhase(_) => "cu1",
+            Swap => "swap",
+            ISwap => "iswap",
+            SqrtISwap => "sqiswap",
+            Rzz(_) => "rzz",
+            Rxy(_) => "rxy",
+            Toffoli => "ccx",
+            Fredkin => "cswap",
+        }
+    }
+
+    /// The gate's rotation / phase parameter, when it has one.
+    pub fn parameter(&self) -> Option<f64> {
+        use Gate::*;
+        match self {
+            Rx(t) | Ry(t) | Rz(t) | Phase(t) | CPhase(t) | Rzz(t) | Rxy(t) => Some(*t),
+            _ => None,
+        }
+    }
+
+    /// Exact unitary matrix of the gate (dimension `2^arity`).
+    pub fn matrix(&self) -> CMatrix {
+        use Gate::*;
+        match self {
+            I => CMatrix::identity(2),
+            X => pauli::sigma_x(),
+            Y => pauli::sigma_y(),
+            Z => pauli::sigma_z(),
+            H => pauli::hadamard(),
+            S => pauli::phase(FRAC_PI_2),
+            Sdg => pauli::phase(-FRAC_PI_2),
+            T => pauli::phase(FRAC_PI_4),
+            Tdg => pauli::phase(-FRAC_PI_4),
+            Rx(t) => pauli::rx(*t),
+            Ry(t) => pauli::ry(*t),
+            Rz(t) => pauli::rz(*t),
+            Phase(t) => pauli::phase(*t),
+            Cnot => pauli::cnot(),
+            Cz => pauli::cz(),
+            CPhase(t) => CMatrix::diag(&[C64::one(), C64::one(), C64::one(), C64::cis(*t)]),
+            Swap => pauli::swap(),
+            ISwap => pauli::iswap(),
+            SqrtISwap => pauli::sqrt_iswap(),
+            Rzz(t) => pauli::zz_rotation(*t),
+            Rxy(t) => pauli::xy_rotation(*t),
+            Toffoli => {
+                let mut m = CMatrix::identity(8);
+                m[(6, 6)] = C64::zero();
+                m[(7, 7)] = C64::zero();
+                m[(6, 7)] = C64::one();
+                m[(7, 6)] = C64::one();
+                m
+            }
+            Fredkin => {
+                let mut m = CMatrix::identity(8);
+                m[(5, 5)] = C64::zero();
+                m[(6, 6)] = C64::zero();
+                m[(5, 6)] = C64::one();
+                m[(6, 5)] = C64::one();
+                m
+            }
+        }
+    }
+
+    /// The inverse gate (`G†`).
+    pub fn dagger(&self) -> Gate {
+        use Gate::*;
+        match self {
+            S => Sdg,
+            Sdg => S,
+            T => Tdg,
+            Tdg => T,
+            Rx(t) => Rx(-t),
+            Ry(t) => Ry(-t),
+            Rz(t) => Rz(-t),
+            Phase(t) => Phase(-t),
+            CPhase(t) => CPhase(-t),
+            Rzz(t) => Rzz(-t),
+            Rxy(t) => Rxy(-t),
+            // iSWAP = exp(+iπ(XX+YY)/4) = Rxy(-π), hence iSWAP† = Rxy(+π).
+            ISwap => Rxy(PI),
+            SqrtISwap => Rxy(FRAC_PI_2),
+            other => *other,
+        }
+    }
+
+    /// Whether the gate's matrix is diagonal in the computational basis.
+    ///
+    /// Diagonal gates are the backbone of the commutativity detection pass
+    /// (§4.2): any two diagonal unitaries commute.
+    pub fn is_diagonal(&self) -> bool {
+        use Gate::*;
+        matches!(
+            self,
+            I | Z | S | Sdg | T | Tdg | Rz(_) | Phase(_) | Cz | CPhase(_) | Rzz(_)
+        )
+    }
+
+    /// Whether this is a parameter-free Clifford gate (useful for tests).
+    pub fn is_clifford(&self) -> bool {
+        use Gate::*;
+        matches!(self, I | X | Y | Z | H | S | Sdg | Cnot | Cz | Swap | ISwap)
+    }
+
+    /// How the gate acts on its `position`-th qubit (0-based within the gate).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `position >= arity()`.
+    pub fn axis_on(&self, position: usize) -> AxisAction {
+        use AxisAction::*;
+        use Gate::*;
+        assert!(position < self.arity(), "axis_on position out of range");
+        match self {
+            I => Identity,
+            X => XAxis,
+            Y => YAxis,
+            Z | S | Sdg | T | Tdg | Rz(_) | Phase(_) => Diagonal,
+            Rx(_) => XAxis,
+            Ry(_) => YAxis,
+            H => General,
+            Cnot => {
+                if position == 0 {
+                    Diagonal
+                } else {
+                    XAxis
+                }
+            }
+            Cz | CPhase(_) | Rzz(_) => Diagonal,
+            Swap | ISwap | SqrtISwap | Rxy(_) => General,
+            Toffoli => {
+                if position < 2 {
+                    Diagonal
+                } else {
+                    XAxis
+                }
+            }
+            Fredkin => {
+                if position == 0 {
+                    Diagonal
+                } else {
+                    General
+                }
+            }
+        }
+    }
+
+    /// Rotation angle "content" of the gate, used by the latency model: for a
+    /// rotation gate this is the principal rotation angle in `[0, π]`; for
+    /// fixed gates it is the equivalent angle.
+    pub fn rotation_angle(&self) -> f64 {
+        use Gate::*;
+        fn principal(theta: f64) -> f64 {
+            let t = theta.rem_euclid(2.0 * PI);
+            if t > PI {
+                2.0 * PI - t
+            } else {
+                t
+            }
+        }
+        match self {
+            I => 0.0,
+            X | Y | Z | H => PI,
+            S | Sdg => FRAC_PI_2,
+            T | Tdg => FRAC_PI_4,
+            Rx(t) | Ry(t) | Rz(t) | Phase(t) => principal(*t),
+            Cnot | Cz => PI,
+            CPhase(t) | Rzz(t) | Rxy(t) => principal(*t),
+            Swap | ISwap => PI,
+            SqrtISwap => FRAC_PI_2,
+            Toffoli | Fredkin => PI,
+        }
+    }
+
+    /// Whether the gate is (exactly) the identity operation.
+    pub fn is_identity(&self) -> bool {
+        match self {
+            Gate::I => true,
+            Gate::Rx(t) | Gate::Ry(t) | Gate::Rz(t) | Gate::Phase(t) | Gate::Rzz(t)
+            | Gate::Rxy(t) | Gate::CPhase(t) => *t == 0.0,
+            _ => false,
+        }
+    }
+}
+
+impl fmt::Display for Gate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.parameter() {
+            Some(p) => write!(f, "{}({:.4})", self.name(), p),
+            None => write!(f, "{}", self.name()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arity_and_matrix_dimensions_agree() {
+        let gates = [
+            Gate::X,
+            Gate::H,
+            Gate::Rz(0.3),
+            Gate::Cnot,
+            Gate::Swap,
+            Gate::ISwap,
+            Gate::Rzz(1.0),
+            Gate::Toffoli,
+            Gate::Fredkin,
+        ];
+        for g in gates {
+            let m = g.matrix();
+            assert_eq!(m.rows(), 1 << g.arity(), "{g}");
+            assert!(m.is_unitary(1e-12), "{g} not unitary");
+        }
+    }
+
+    #[test]
+    fn dagger_inverts() {
+        let gates = [
+            Gate::S,
+            Gate::T,
+            Gate::Rx(0.7),
+            Gate::Rz(-2.0),
+            Gate::CPhase(0.9),
+            Gate::Rzz(1.3),
+            Gate::ISwap,
+            Gate::SqrtISwap,
+            Gate::H,
+            Gate::Cnot,
+        ];
+        for g in gates {
+            let prod = g.matrix().matmul(&g.dagger().matrix());
+            assert!(prod.is_identity_up_to_phase(1e-10), "{g} dagger failed");
+        }
+    }
+
+    #[test]
+    fn diagonal_flag_matches_matrix() {
+        let gates = [
+            Gate::I,
+            Gate::X,
+            Gate::Z,
+            Gate::H,
+            Gate::S,
+            Gate::T,
+            Gate::Rz(0.3),
+            Gate::Rx(0.3),
+            Gate::Cnot,
+            Gate::Cz,
+            Gate::CPhase(0.4),
+            Gate::Rzz(0.8),
+            Gate::Swap,
+            Gate::ISwap,
+        ];
+        for g in gates {
+            assert_eq!(
+                g.is_diagonal(),
+                g.matrix().is_diagonal(1e-12),
+                "diagonal flag wrong for {g}"
+            );
+        }
+    }
+
+    #[test]
+    fn toffoli_flips_target_only_when_controls_set() {
+        let m = Gate::Toffoli.matrix();
+        // |110> -> |111>
+        assert!(m[(7, 6)].approx_eq(C64::one(), 1e-14));
+        // |010> stays
+        assert!(m[(2, 2)].approx_eq(C64::one(), 1e-14));
+        assert!(m.is_unitary(1e-13));
+    }
+
+    #[test]
+    fn fredkin_swaps_targets_when_control_set() {
+        let m = Gate::Fredkin.matrix();
+        // |101> -> |110>
+        assert!(m[(6, 5)].approx_eq(C64::one(), 1e-14));
+        // |001> stays (control 0)
+        assert!(m[(1, 1)].approx_eq(C64::one(), 1e-14));
+    }
+
+    #[test]
+    fn cnot_axis_actions() {
+        assert_eq!(Gate::Cnot.axis_on(0), AxisAction::Diagonal);
+        assert_eq!(Gate::Cnot.axis_on(1), AxisAction::XAxis);
+        assert_eq!(Gate::Rz(0.3).axis_on(0), AxisAction::Diagonal);
+        assert_eq!(Gate::H.axis_on(0), AxisAction::General);
+        assert_eq!(Gate::Rzz(0.5).axis_on(1), AxisAction::Diagonal);
+    }
+
+    #[test]
+    fn axis_commutation_rules() {
+        use AxisAction::*;
+        assert!(Diagonal.commutes_with(Diagonal));
+        assert!(XAxis.commutes_with(XAxis));
+        assert!(!Diagonal.commutes_with(XAxis));
+        assert!(!General.commutes_with(General));
+        assert!(Identity.commutes_with(General));
+    }
+
+    #[test]
+    fn rotation_angles_are_principal() {
+        assert!((Gate::Rz(5.67).rotation_angle() - (2.0 * PI - 5.67)).abs() < 1e-12);
+        assert!((Gate::Rx(1.26).rotation_angle() - 1.26).abs() < 1e-12);
+        assert!((Gate::H.rotation_angle() - PI).abs() < 1e-12);
+        assert!((Gate::Rz(-0.3).rotation_angle() - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn identity_detection() {
+        assert!(Gate::I.is_identity());
+        assert!(Gate::Rz(0.0).is_identity());
+        assert!(!Gate::Rz(0.1).is_identity());
+        assert!(!Gate::X.is_identity());
+    }
+
+    #[test]
+    fn sqrt_iswap_squares_to_iswap() {
+        let s = Gate::SqrtISwap.matrix();
+        assert!(s.matmul(&s).approx_eq(&Gate::ISwap.matrix(), 1e-12));
+    }
+
+    #[test]
+    fn display_includes_parameter() {
+        assert_eq!(format!("{}", Gate::Cnot), "cx");
+        assert!(format!("{}", Gate::Rz(1.5)).starts_with("rz(1.5"));
+    }
+}

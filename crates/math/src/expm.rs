@@ -1,0 +1,203 @@
+//! Matrix exponential via scaling-and-squaring with a diagonal Padé approximant.
+//!
+//! This is the standard Higham-style algorithm specialized for the matrices the
+//! optimal-control unit produces (`-i·dt·H` for Hermitian `H`, dimension up to
+//! `2^n` for small `n`). A convenience routine for the unitary propagator
+//! `exp(-i·H·t)` is provided as well.
+
+use crate::complex::C64;
+use crate::linalg::{solve_matrix, LinalgError};
+use crate::matrix::CMatrix;
+
+/// Padé-13 numerator coefficients (same for the denominator with alternating
+/// signs), as used by the classic scaling-and-squaring algorithm.
+const PADE13: [f64; 14] = [
+    64764752532480000.0,
+    32382376266240000.0,
+    7771770303897600.0,
+    1187353796428800.0,
+    129060195264000.0,
+    10559470521600.0,
+    670442572800.0,
+    33522128640.0,
+    1323241920.0,
+    40840800.0,
+    960960.0,
+    16380.0,
+    182.0,
+    1.0,
+];
+
+/// Computes the matrix exponential `e^A` of a square complex matrix.
+///
+/// Uses the Padé(13) approximant with scaling and squaring; the scaling factor
+/// is chosen from the 1-norm of `A`.
+///
+/// # Panics
+///
+/// Panics if `a` is not square or if the internal linear solve fails (which can
+/// only happen for inputs with non-finite entries).
+///
+/// # Examples
+///
+/// ```
+/// use qcc_math::{expm, CMatrix};
+/// let zero = CMatrix::zeros(4, 4);
+/// assert!(expm(&zero).is_identity(1e-12));
+/// ```
+pub fn expm(a: &CMatrix) -> CMatrix {
+    try_expm(a).expect("expm: non-finite input")
+}
+
+/// Fallible variant of [`expm`].
+///
+/// # Errors
+///
+/// Returns a [`LinalgError`] when the Padé denominator cannot be inverted,
+/// which only happens for inputs containing NaN/Inf entries.
+pub fn try_expm(a: &CMatrix) -> Result<CMatrix, LinalgError> {
+    assert!(a.is_square(), "expm requires a square matrix");
+    let n = a.rows();
+    let norm = a.one_norm();
+    // theta_13 from Higham's analysis: below this 1-norm, Padé(13) alone is
+    // accurate to double precision.
+    let theta13 = 5.371920351148152;
+    let mut squarings = 0u32;
+    let scaled = if norm > theta13 {
+        squarings = ((norm / theta13).log2().ceil()).max(0.0) as u32;
+        a.scale_re(1.0 / (2f64.powi(squarings as i32)))
+    } else {
+        a.clone()
+    };
+
+    let a1 = scaled;
+    let a2 = a1.matmul(&a1);
+    let a4 = a2.matmul(&a2);
+    let a6 = a2.matmul(&a4);
+    let id = CMatrix::identity(n);
+
+    let b = &PADE13;
+    // U = A * (A6*(b13*A6 + b11*A4 + b9*A2) + b7*A6 + b5*A4 + b3*A2 + b1*I)
+    let mut w1 = a6.scale_re(b[13]);
+    w1 += &a4.scale_re(b[11]);
+    w1 += &a2.scale_re(b[9]);
+    let mut w2 = a6.scale_re(b[7]);
+    w2 += &a4.scale_re(b[5]);
+    w2 += &a2.scale_re(b[3]);
+    w2 += &id.scale_re(b[1]);
+    let w = &a6.matmul(&w1) + &w2;
+    let u = a1.matmul(&w);
+
+    // V = A6*(b12*A6 + b10*A4 + b8*A2) + b6*A6 + b4*A4 + b2*A2 + b0*I
+    let mut z1 = a6.scale_re(b[12]);
+    z1 += &a4.scale_re(b[10]);
+    z1 += &a2.scale_re(b[8]);
+    let mut z2 = a6.scale_re(b[6]);
+    z2 += &a4.scale_re(b[4]);
+    z2 += &a2.scale_re(b[2]);
+    z2 += &id.scale_re(b[0]);
+    let v = &a6.matmul(&z1) + &z2;
+
+    // exp(A) ≈ (V - U)^{-1} (V + U)
+    let numer = &v + &u;
+    let denom = &v - &u;
+    let mut result = solve_matrix(&denom, &numer)?;
+    for _ in 0..squarings {
+        result = result.matmul(&result);
+    }
+    Ok(result)
+}
+
+/// Computes the unitary propagator `exp(-i·H·t)` for a Hermitian `H`.
+///
+/// `t` is in the same units as `1/H`; the caller is responsible for including
+/// any `2π` factors.
+///
+/// # Panics
+///
+/// Panics if `h` is not square.
+pub fn propagator(h: &CMatrix, t: f64) -> CMatrix {
+    let a = h.scale(C64::new(0.0, -t));
+    expm(&a)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::complex::c64;
+    use std::f64::consts::PI;
+
+    fn pauli_x() -> CMatrix {
+        CMatrix::from_real(2, 2, &[0.0, 1.0, 1.0, 0.0])
+    }
+
+    fn pauli_z() -> CMatrix {
+        CMatrix::from_real(2, 2, &[1.0, 0.0, 0.0, -1.0])
+    }
+
+    #[test]
+    fn exp_of_zero_is_identity() {
+        assert!(expm(&CMatrix::zeros(3, 3)).is_identity(1e-13));
+    }
+
+    #[test]
+    fn exp_of_diagonal() {
+        let d = CMatrix::diag(&[c64(1.0, 0.0), c64(0.0, PI), c64(-2.0, 0.5)]);
+        let e = expm(&d);
+        assert!(e[(0, 0)].approx_eq(c64(1.0f64.exp(), 0.0), 1e-10));
+        assert!(e[(1, 1)].approx_eq(C64::cis(PI), 1e-10));
+        assert!(e[(2, 2)].approx_eq(C64::new(-2.0, 0.5).exp(), 1e-10));
+        assert!(e[(0, 1)].abs() < 1e-12);
+    }
+
+    #[test]
+    fn rotation_about_x_axis() {
+        // exp(-i θ/2 X) = cos(θ/2) I - i sin(θ/2) X
+        let theta = 1.234;
+        let u = propagator(&pauli_x(), theta / 2.0);
+        let want = &CMatrix::identity(2).scale_re((theta / 2.0).cos())
+            + &pauli_x().scale(C64::new(0.0, -(theta / 2.0).sin()));
+        assert!(u.approx_eq(&want, 1e-12));
+        assert!(u.is_unitary(1e-12));
+    }
+
+    #[test]
+    fn propagator_of_hermitian_is_unitary() {
+        // Random-ish Hermitian matrix built as A + A†.
+        let a = CMatrix::from_rows(&[
+            &[c64(0.3, 0.0), c64(1.2, -0.7), c64(-0.4, 0.1)],
+            &[c64(1.2, 0.7), c64(-0.5, 0.0), c64(0.9, 0.3)],
+            &[c64(-0.4, -0.1), c64(0.9, -0.3), c64(1.1, 0.0)],
+        ]);
+        assert!(a.is_hermitian(1e-12));
+        let u = propagator(&a, 2.5);
+        assert!(u.is_unitary(1e-10));
+    }
+
+    #[test]
+    fn large_norm_uses_scaling_and_squaring() {
+        let big = pauli_z().scale_re(40.0);
+        let e = propagator(&big, 1.0);
+        // exp(-i 40 Z) = diag(e^{-40i}, e^{40i})
+        assert!(e[(0, 0)].approx_eq(C64::cis(-40.0), 1e-9));
+        assert!(e[(1, 1)].approx_eq(C64::cis(40.0), 1e-9));
+        assert!(e.is_unitary(1e-10));
+    }
+
+    #[test]
+    fn additivity_for_commuting_matrices() {
+        // exp(aZ) exp(bZ) = exp((a+b)Z)
+        let a = pauli_z().scale(c64(0.0, 0.4));
+        let b = pauli_z().scale(c64(0.0, -1.1));
+        let lhs = expm(&a).matmul(&expm(&b));
+        let rhs = expm(&(&a + &b));
+        assert!(lhs.approx_eq(&rhs, 1e-11));
+    }
+
+    #[test]
+    fn exp_x_pi_is_minus_identity_like() {
+        // exp(-i π X / 2 * 2) = exp(-i π X) = -I (global phase -1)
+        let u = propagator(&pauli_x(), PI);
+        assert!(u.is_identity_up_to_phase(1e-9));
+    }
+}

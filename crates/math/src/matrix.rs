@@ -1,0 +1,713 @@
+//! Dense, row-major complex matrices.
+//!
+//! Sizes in this workspace are at most `2^10 × 2^10` (ten-qubit unitaries), so a
+//! straightforward dense representation with `O(n³)` multiplication is the right
+//! trade-off: simple, cache-friendly, and with no external dependencies.
+
+use crate::complex::C64;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, AddAssign, Index, IndexMut, Mul, Neg, Sub, SubAssign};
+
+/// A dense complex matrix stored in row-major order.
+///
+/// # Examples
+///
+/// ```
+/// use qcc_math::{CMatrix, C64};
+/// let x = CMatrix::from_rows(&[
+///     &[C64::zero(), C64::one()],
+///     &[C64::one(), C64::zero()],
+/// ]);
+/// assert!(x.is_unitary(1e-12));
+/// assert!((&x * &x).is_identity(1e-12));
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CMatrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<C64>,
+}
+
+impl CMatrix {
+    /// Creates a `rows × cols` matrix filled with zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self {
+            rows,
+            cols,
+            data: vec![C64::zero(); rows * cols],
+        }
+    }
+
+    /// Creates the `n × n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = C64::one();
+        }
+        m
+    }
+
+    /// Builds a matrix from a slice of rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rows do not all have the same length or if `rows` is empty.
+    pub fn from_rows(rows: &[&[C64]]) -> Self {
+        assert!(!rows.is_empty(), "matrix needs at least one row");
+        let cols = rows[0].len();
+        let mut data = Vec::with_capacity(rows.len() * cols);
+        for r in rows {
+            assert_eq!(r.len(), cols, "ragged rows");
+            data.extend_from_slice(r);
+        }
+        Self {
+            rows: rows.len(),
+            cols,
+            data,
+        }
+    }
+
+    /// Builds a matrix from a flat row-major vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<C64>) -> Self {
+        assert_eq!(data.len(), rows * cols, "dimension mismatch");
+        Self { rows, cols, data }
+    }
+
+    /// Builds a square matrix from real entries (imaginary parts zero).
+    pub fn from_real(rows: usize, cols: usize, entries: &[f64]) -> Self {
+        assert_eq!(entries.len(), rows * cols, "dimension mismatch");
+        Self {
+            rows,
+            cols,
+            data: entries.iter().map(|&x| C64::real(x)).collect(),
+        }
+    }
+
+    /// Builds a diagonal matrix from the given diagonal entries.
+    pub fn diag(entries: &[C64]) -> Self {
+        let n = entries.len();
+        let mut m = Self::zeros(n, n);
+        for (i, &e) in entries.iter().enumerate() {
+            m[(i, i)] = e;
+        }
+        m
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Returns `true` for a square matrix.
+    #[inline]
+    pub fn is_square(&self) -> bool {
+        self.rows == self.cols
+    }
+
+    /// Immutable access to the backing slice (row-major).
+    #[inline]
+    pub fn as_slice(&self) -> &[C64] {
+        &self.data
+    }
+
+    /// Mutable access to the backing slice (row-major).
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [C64] {
+        &mut self.data
+    }
+
+    /// Returns one row as a slice.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[C64] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Conjugate transpose (the dagger / adjoint).
+    pub fn dagger(&self) -> CMatrix {
+        let mut out = CMatrix::zeros(self.cols, self.rows);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                out[(j, i)] = self[(i, j)].conj();
+            }
+        }
+        out
+    }
+
+    /// Plain transpose without conjugation.
+    pub fn transpose(&self) -> CMatrix {
+        let mut out = CMatrix::zeros(self.cols, self.rows);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                out[(j, i)] = self[(i, j)];
+            }
+        }
+        out
+    }
+
+    /// Element-wise complex conjugate.
+    pub fn conj(&self) -> CMatrix {
+        let data = self.data.iter().map(|z| z.conj()).collect();
+        CMatrix {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        }
+    }
+
+    /// Trace of a square matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix is not square.
+    pub fn trace(&self) -> C64 {
+        assert!(self.is_square(), "trace of non-square matrix");
+        (0..self.rows).map(|i| self[(i, i)]).sum()
+    }
+
+    /// Frobenius norm `sqrt(Σ |a_ij|²)`.
+    pub fn frobenius_norm(&self) -> f64 {
+        self.data.iter().map(|z| z.norm_sqr()).sum::<f64>().sqrt()
+    }
+
+    /// 1-norm (maximum absolute column sum), used for `expm` scaling.
+    pub fn one_norm(&self) -> f64 {
+        let mut best = 0.0f64;
+        for j in 0..self.cols {
+            let s: f64 = (0..self.rows).map(|i| self[(i, j)].abs()).sum();
+            best = best.max(s);
+        }
+        best
+    }
+
+    /// Maximum absolute entry.
+    pub fn max_abs(&self) -> f64 {
+        self.data.iter().map(|z| z.abs()).fold(0.0, f64::max)
+    }
+
+    /// Multiplies every entry by a complex scalar.
+    pub fn scale(&self, s: C64) -> CMatrix {
+        let data = self.data.iter().map(|&z| z * s).collect();
+        CMatrix {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        }
+    }
+
+    /// Multiplies every entry by a real scalar.
+    pub fn scale_re(&self, s: f64) -> CMatrix {
+        self.scale(C64::real(s))
+    }
+
+    /// Matrix product `self * rhs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on inner-dimension mismatch.
+    pub fn matmul(&self, rhs: &CMatrix) -> CMatrix {
+        assert_eq!(self.cols, rhs.rows, "matmul dimension mismatch");
+        let mut out = CMatrix::zeros(self.rows, rhs.cols);
+        // ikj loop order: the inner loop walks contiguous memory of both
+        // `rhs` and `out`, which matters for the 1024×1024 unitaries.
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self[(i, k)];
+                if a.re == 0.0 && a.im == 0.0 {
+                    continue;
+                }
+                let rrow = &rhs.data[k * rhs.cols..(k + 1) * rhs.cols];
+                let orow = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
+                for (o, &r) in orow.iter_mut().zip(rrow.iter()) {
+                    *o += a * r;
+                }
+            }
+        }
+        out
+    }
+
+    /// Matrix-vector product `self * v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v.len() != self.cols()`.
+    pub fn matvec(&self, v: &[C64]) -> Vec<C64> {
+        assert_eq!(v.len(), self.cols, "matvec dimension mismatch");
+        let mut out = vec![C64::zero(); self.rows];
+        for i in 0..self.rows {
+            let row = self.row(i);
+            let mut acc = C64::zero();
+            for (a, b) in row.iter().zip(v.iter()) {
+                acc += *a * *b;
+            }
+            out[i] = acc;
+        }
+        out
+    }
+
+    /// Kronecker (tensor) product `self ⊗ rhs`.
+    pub fn kron(&self, rhs: &CMatrix) -> CMatrix {
+        let rows = self.rows * rhs.rows;
+        let cols = self.cols * rhs.cols;
+        let mut out = CMatrix::zeros(rows, cols);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                let a = self[(i, j)];
+                if a.re == 0.0 && a.im == 0.0 {
+                    continue;
+                }
+                for k in 0..rhs.rows {
+                    for l in 0..rhs.cols {
+                        out[(i * rhs.rows + k, j * rhs.cols + l)] = a * rhs[(k, l)];
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Inner (Hilbert–Schmidt) product `tr(self† rhs)`.
+    pub fn hs_inner(&self, rhs: &CMatrix) -> C64 {
+        assert_eq!(self.rows, rhs.rows);
+        assert_eq!(self.cols, rhs.cols);
+        self.data
+            .iter()
+            .zip(rhs.data.iter())
+            .map(|(a, b)| a.conj() * *b)
+            .sum()
+    }
+
+    /// Returns `true` when every entry differs from `other` by at most `tol`.
+    pub fn approx_eq(&self, other: &CMatrix, tol: f64) -> bool {
+        if self.rows != other.rows || self.cols != other.cols {
+            return false;
+        }
+        self.data
+            .iter()
+            .zip(other.data.iter())
+            .all(|(a, b)| a.approx_eq(*b, tol))
+    }
+
+    /// Returns `true` when the matrix is the identity up to `tol`.
+    pub fn is_identity(&self, tol: f64) -> bool {
+        if !self.is_square() {
+            return false;
+        }
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                let want = if i == j { C64::one() } else { C64::zero() };
+                if !self[(i, j)].approx_eq(want, tol) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Returns `true` when the matrix is unitary, i.e. `U† U = I` up to `tol`.
+    pub fn is_unitary(&self, tol: f64) -> bool {
+        self.is_square() && self.dagger().matmul(self).is_identity(tol)
+    }
+
+    /// Returns `true` when the matrix is Hermitian up to `tol`.
+    pub fn is_hermitian(&self, tol: f64) -> bool {
+        if !self.is_square() {
+            return false;
+        }
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                if !self[(i, j)].approx_eq(self[(j, i)].conj(), tol) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Returns `true` when all off-diagonal entries are below `tol` in modulus.
+    pub fn is_diagonal(&self, tol: f64) -> bool {
+        if !self.is_square() {
+            return false;
+        }
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                if i != j && self[(i, j)].abs() > tol {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Returns `true` when the matrix equals the identity up to a global phase.
+    pub fn is_identity_up_to_phase(&self, tol: f64) -> bool {
+        if !self.is_square() {
+            return false;
+        }
+        // Find the phase from the first diagonal entry of non-negligible modulus.
+        let phase = self[(0, 0)];
+        if (phase.abs() - 1.0).abs() > tol {
+            return false;
+        }
+        let inv_phase = phase.conj();
+        self.scale(inv_phase).is_identity(tol.max(1e-12) * 10.0)
+    }
+
+    /// Returns `true` when `self` and `other` are equal up to a global phase.
+    pub fn approx_eq_up_to_phase(&self, other: &CMatrix, tol: f64) -> bool {
+        if self.rows != other.rows || self.cols != other.cols {
+            return false;
+        }
+        // Use the entry of largest modulus in `other` to fix the phase.
+        let mut best = 0usize;
+        let mut best_abs = 0.0;
+        for (idx, z) in other.data.iter().enumerate() {
+            if z.abs() > best_abs {
+                best_abs = z.abs();
+                best = idx;
+            }
+        }
+        if best_abs < tol {
+            return self.approx_eq(other, tol);
+        }
+        let phase = self.data[best] / other.data[best];
+        if (phase.abs() - 1.0).abs() > 1e-6 {
+            return false;
+        }
+        other.scale(phase).approx_eq(self, tol)
+    }
+
+    /// Embeds a `k`-qubit operator acting on `targets` into an `n`-qubit operator.
+    ///
+    /// `targets[0]` is the most-significant qubit of the small operator under the
+    /// big-endian convention used throughout the workspace (qubit 0 is the
+    /// left-most tensor factor).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the operator dimension does not match `2^targets.len()`, if a
+    /// target index repeats, or if a target is `>= n`.
+    pub fn embed(&self, n: usize, targets: &[usize]) -> CMatrix {
+        let k = targets.len();
+        let dim_small = 1usize << k;
+        assert_eq!(self.rows, dim_small, "operator does not match target count");
+        assert!(self.is_square());
+        for (idx, t) in targets.iter().enumerate() {
+            assert!(*t < n, "target {t} out of range for {n} qubits");
+            assert!(
+                !targets[..idx].contains(t),
+                "duplicate target qubit {t} in embed"
+            );
+        }
+        let dim = 1usize << n;
+        let mut out = CMatrix::zeros(dim, dim);
+        // For every basis state pair restricted to the non-target qubits, copy
+        // the small operator block.
+        let rest: Vec<usize> = (0..n).filter(|q| !targets.contains(q)).collect();
+        let rest_dim = 1usize << rest.len();
+        for rbits in 0..rest_dim {
+            // Build the common part of the row/col index contributed by the
+            // untouched qubits.
+            let mut base = 0usize;
+            for (pos, q) in rest.iter().enumerate() {
+                // bit `pos` of rbits (MSB-first over `rest`)
+                let bit = (rbits >> (rest.len() - 1 - pos)) & 1;
+                base |= bit << (n - 1 - q);
+            }
+            for a in 0..dim_small {
+                for b in 0..dim_small {
+                    let v = self[(a, b)];
+                    if v.re == 0.0 && v.im == 0.0 {
+                        continue;
+                    }
+                    let mut row = base;
+                    let mut col = base;
+                    for (pos, q) in targets.iter().enumerate() {
+                        let abit = (a >> (k - 1 - pos)) & 1;
+                        let bbit = (b >> (k - 1 - pos)) & 1;
+                        row |= abit << (n - 1 - q);
+                        col |= bbit << (n - 1 - q);
+                    }
+                    out[(row, col)] = v;
+                }
+            }
+        }
+        out
+    }
+
+    /// Raises a square matrix to a non-negative integer power.
+    pub fn powi(&self, mut p: u32) -> CMatrix {
+        assert!(self.is_square());
+        let mut result = CMatrix::identity(self.rows);
+        let mut base = self.clone();
+        while p > 0 {
+            if p & 1 == 1 {
+                result = result.matmul(&base);
+            }
+            base = base.matmul(&base);
+            p >>= 1;
+        }
+        result
+    }
+}
+
+impl Index<(usize, usize)> for CMatrix {
+    type Output = C64;
+    #[inline]
+    fn index(&self, (r, c): (usize, usize)) -> &C64 {
+        &self.data[r * self.cols + c]
+    }
+}
+
+impl IndexMut<(usize, usize)> for CMatrix {
+    #[inline]
+    fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut C64 {
+        &mut self.data[r * self.cols + c]
+    }
+}
+
+impl Add for &CMatrix {
+    type Output = CMatrix;
+    fn add(self, rhs: &CMatrix) -> CMatrix {
+        assert_eq!(self.rows, rhs.rows);
+        assert_eq!(self.cols, rhs.cols);
+        let data = self
+            .data
+            .iter()
+            .zip(rhs.data.iter())
+            .map(|(a, b)| *a + *b)
+            .collect();
+        CMatrix {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        }
+    }
+}
+
+impl Sub for &CMatrix {
+    type Output = CMatrix;
+    fn sub(self, rhs: &CMatrix) -> CMatrix {
+        assert_eq!(self.rows, rhs.rows);
+        assert_eq!(self.cols, rhs.cols);
+        let data = self
+            .data
+            .iter()
+            .zip(rhs.data.iter())
+            .map(|(a, b)| *a - *b)
+            .collect();
+        CMatrix {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        }
+    }
+}
+
+impl Mul for &CMatrix {
+    type Output = CMatrix;
+    fn mul(self, rhs: &CMatrix) -> CMatrix {
+        self.matmul(rhs)
+    }
+}
+
+impl Neg for &CMatrix {
+    type Output = CMatrix;
+    fn neg(self) -> CMatrix {
+        self.scale_re(-1.0)
+    }
+}
+
+impl AddAssign<&CMatrix> for CMatrix {
+    fn add_assign(&mut self, rhs: &CMatrix) {
+        assert_eq!(self.rows, rhs.rows);
+        assert_eq!(self.cols, rhs.cols);
+        for (a, b) in self.data.iter_mut().zip(rhs.data.iter()) {
+            *a += *b;
+        }
+    }
+}
+
+impl SubAssign<&CMatrix> for CMatrix {
+    fn sub_assign(&mut self, rhs: &CMatrix) {
+        assert_eq!(self.rows, rhs.rows);
+        assert_eq!(self.cols, rhs.cols);
+        for (a, b) in self.data.iter_mut().zip(rhs.data.iter()) {
+            *a -= *b;
+        }
+    }
+}
+
+impl fmt::Display for CMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "CMatrix {}x{} [", self.rows, self.cols)?;
+        for i in 0..self.rows {
+            write!(f, "  ")?;
+            for j in 0..self.cols {
+                write!(f, "{} ", self[(i, j)])?;
+            }
+            writeln!(f)?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::complex::c64;
+
+    fn pauli_x() -> CMatrix {
+        CMatrix::from_rows(&[
+            &[C64::zero(), C64::one()],
+            &[C64::one(), C64::zero()],
+        ])
+    }
+
+    fn pauli_z() -> CMatrix {
+        CMatrix::diag(&[C64::one(), C64::real(-1.0)])
+    }
+
+    #[test]
+    fn identity_multiplication() {
+        let x = pauli_x();
+        let id = CMatrix::identity(2);
+        assert!(x.matmul(&id).approx_eq(&x, 1e-14));
+        assert!(id.matmul(&x).approx_eq(&x, 1e-14));
+    }
+
+    #[test]
+    fn pauli_algebra() {
+        let x = pauli_x();
+        let z = pauli_z();
+        // XZ = -ZX for Pauli matrices
+        let xz = x.matmul(&z);
+        let zx = z.matmul(&x).scale_re(-1.0);
+        assert!(xz.approx_eq(&zx, 1e-14));
+        assert!(x.matmul(&x).is_identity(1e-14));
+        assert!(z.is_diagonal(1e-14));
+        assert!(!x.is_diagonal(1e-14));
+    }
+
+    #[test]
+    fn dagger_and_unitarity() {
+        let h = CMatrix::from_real(2, 2, &[1.0, 1.0, 1.0, -1.0]).scale_re(1.0 / 2f64.sqrt());
+        assert!(h.is_unitary(1e-12));
+        assert!(h.is_hermitian(1e-12));
+        assert!(h.dagger().approx_eq(&h, 1e-12));
+    }
+
+    #[test]
+    fn kron_dimensions_and_values() {
+        let x = pauli_x();
+        let z = pauli_z();
+        let xz = x.kron(&z);
+        assert_eq!(xz.rows(), 4);
+        assert_eq!(xz.cols(), 4);
+        assert!(xz[(0, 2)].approx_eq(C64::one(), 1e-14));
+        assert!(xz[(1, 3)].approx_eq(C64::real(-1.0), 1e-14));
+        assert!(xz.is_unitary(1e-12));
+    }
+
+    #[test]
+    fn trace_and_norms() {
+        let z = pauli_z();
+        assert!(z.trace().approx_eq(C64::zero(), 1e-14));
+        assert!((z.frobenius_norm() - 2f64.sqrt()).abs() < 1e-14);
+        assert!((z.one_norm() - 1.0).abs() < 1e-14);
+        assert!((CMatrix::identity(3).trace().re - 3.0).abs() < 1e-14);
+    }
+
+    #[test]
+    fn matvec_matches_matmul() {
+        let x = pauli_x();
+        let v = vec![c64(0.6, 0.0), c64(0.0, 0.8)];
+        let mv = x.matvec(&v);
+        assert!(mv[0].approx_eq(c64(0.0, 0.8), 1e-14));
+        assert!(mv[1].approx_eq(c64(0.6, 0.0), 1e-14));
+    }
+
+    #[test]
+    fn embed_single_qubit_in_two() {
+        // X on qubit 1 of a 2-qubit system (big-endian): I ⊗ X
+        let x = pauli_x();
+        let emb = x.embed(2, &[1]);
+        let want = CMatrix::identity(2).kron(&x);
+        assert!(emb.approx_eq(&want, 1e-14));
+        // X on qubit 0: X ⊗ I
+        let emb0 = x.embed(2, &[0]);
+        let want0 = x.kron(&CMatrix::identity(2));
+        assert!(emb0.approx_eq(&want0, 1e-14));
+    }
+
+    #[test]
+    fn embed_two_qubit_reversed_targets() {
+        // CNOT with control q1, target q0 in a 2-qubit system is the "reverse CNOT".
+        let cnot = CMatrix::from_real(
+            4,
+            4,
+            &[
+                1.0, 0.0, 0.0, 0.0, //
+                0.0, 1.0, 0.0, 0.0, //
+                0.0, 0.0, 0.0, 1.0, //
+                0.0, 0.0, 1.0, 0.0,
+            ],
+        );
+        let emb = cnot.embed(2, &[1, 0]);
+        // |01> -> |11>, |11> -> |01>
+        assert!(emb[(3, 1)].approx_eq(C64::one(), 1e-14));
+        assert!(emb[(1, 3)].approx_eq(C64::one(), 1e-14));
+        assert!(emb[(0, 0)].approx_eq(C64::one(), 1e-14));
+        assert!(emb.is_unitary(1e-12));
+    }
+
+    #[test]
+    fn phase_insensitive_comparison() {
+        let x = pauli_x();
+        let phased = x.scale(C64::cis(0.7));
+        assert!(phased.approx_eq_up_to_phase(&x, 1e-12));
+        assert!(!phased.approx_eq(&x, 1e-12));
+        let id_phase = CMatrix::identity(4).scale(C64::cis(-1.2));
+        assert!(id_phase.is_identity_up_to_phase(1e-10));
+    }
+
+    #[test]
+    fn powi_matches_repeated_multiplication() {
+        let x = pauli_x();
+        assert!(x.powi(0).is_identity(1e-14));
+        assert!(x.powi(2).is_identity(1e-14));
+        assert!(x.powi(3).approx_eq(&x, 1e-14));
+    }
+
+    #[test]
+    #[should_panic]
+    fn matmul_dimension_mismatch_panics() {
+        let a = CMatrix::zeros(2, 3);
+        let b = CMatrix::zeros(2, 3);
+        let _ = a.matmul(&b);
+    }
+
+    #[test]
+    fn operators_add_sub() {
+        let x = pauli_x();
+        let z = pauli_z();
+        let s = &x + &z;
+        let d = &s - &z;
+        assert!(d.approx_eq(&x, 1e-14));
+        let mut acc = CMatrix::zeros(2, 2);
+        acc += &x;
+        acc -= &x;
+        assert!(acc.approx_eq(&CMatrix::zeros(2, 2), 1e-14));
+    }
+}

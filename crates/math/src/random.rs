@@ -1,0 +1,120 @@
+//! Random complex matrices and Haar-ish random unitaries for testing.
+
+use crate::complex::C64;
+use crate::matrix::CMatrix;
+use rand::Rng;
+
+/// Generates a matrix with entries whose real and imaginary parts are drawn
+/// from an approximately standard normal distribution.
+pub fn random_complex_matrix<R: Rng + ?Sized>(rng: &mut R, rows: usize, cols: usize) -> CMatrix {
+    let mut m = CMatrix::zeros(rows, cols);
+    for i in 0..rows {
+        for j in 0..cols {
+            m[(i, j)] = C64::new(normal_sample(rng), normal_sample(rng));
+        }
+    }
+    m
+}
+
+/// Generates a random Hermitian matrix `(A + A†)/2`.
+pub fn random_hermitian<R: Rng + ?Sized>(rng: &mut R, n: usize) -> CMatrix {
+    let a = random_complex_matrix(rng, n, n);
+    (&a + &a.dagger()).scale_re(0.5)
+}
+
+/// Generates a random unitary by QR-orthonormalizing a random complex matrix
+/// (modified Gram–Schmidt with phase correction).
+///
+/// The distribution is close enough to Haar for testing purposes: columns are
+/// orthonormal and generically entangling.
+pub fn random_unitary<R: Rng + ?Sized>(rng: &mut R, n: usize) -> CMatrix {
+    loop {
+        let a = random_complex_matrix(rng, n, n);
+        if let Some(u) = gram_schmidt(&a) {
+            return u;
+        }
+    }
+}
+
+/// Orthonormalizes the columns of `a`. Returns `None` when columns are linearly
+/// dependent to working precision.
+fn gram_schmidt(a: &CMatrix) -> Option<CMatrix> {
+    let n = a.rows();
+    let mut cols: Vec<Vec<C64>> = (0..n).map(|j| (0..n).map(|i| a[(i, j)]).collect()).collect();
+    for j in 0..n {
+        for k in 0..j {
+            // proj = <q_k, v_j>
+            let proj: C64 = cols[k]
+                .iter()
+                .zip(cols[j].iter())
+                .map(|(qk, vj)| qk.conj() * *vj)
+                .sum();
+            let qk = cols[k].clone();
+            for (v, q) in cols[j].iter_mut().zip(qk.iter()) {
+                *v -= proj * *q;
+            }
+        }
+        let norm: f64 = cols[j].iter().map(|z| z.norm_sqr()).sum::<f64>().sqrt();
+        if norm < 1e-10 {
+            return None;
+        }
+        for v in cols[j].iter_mut() {
+            *v = *v / norm;
+        }
+    }
+    let mut u = CMatrix::zeros(n, n);
+    for j in 0..n {
+        for i in 0..n {
+            u[(i, j)] = cols[j][i];
+        }
+    }
+    Some(u)
+}
+
+/// Box–Muller standard normal sample.
+fn normal_sample<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn random_unitary_is_unitary() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for n in [2usize, 4, 8] {
+            let u = random_unitary(&mut rng, n);
+            assert!(u.is_unitary(1e-9), "dimension {n}");
+        }
+    }
+
+    #[test]
+    fn random_hermitian_is_hermitian() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let h = random_hermitian(&mut rng, 6);
+        assert!(h.is_hermitian(1e-12));
+    }
+
+    #[test]
+    fn different_seeds_give_different_matrices() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        let ua = random_unitary(&mut a, 4);
+        let ub = random_unitary(&mut b, 4);
+        assert!(!ua.approx_eq(&ub, 1e-6));
+    }
+
+    #[test]
+    fn same_seed_reproducible() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        let ua = random_unitary(&mut a, 4);
+        let ub = random_unitary(&mut b, 4);
+        assert!(ua.approx_eq(&ub, 1e-12));
+    }
+}

@@ -1,0 +1,169 @@
+//! Time evolution under piecewise-constant Hamiltonians.
+//!
+//! The optimal-control unit produces pulse programs — sequences of control
+//! amplitudes held constant over short time steps. This module turns such a
+//! program (given the Hamiltonian terms it drives) into the exact propagator,
+//! which is how pulses are verified against their target unitaries (§3.6).
+
+use qcc_math::{expm, CMatrix, C64};
+
+/// A time-dependent Hamiltonian of the form
+/// `H(t) = H₀ + Σ_k u_k(t) H_k` with piecewise-constant controls `u_k`.
+#[derive(Debug, Clone)]
+pub struct PiecewiseHamiltonian {
+    /// Drift term `H₀` (may be the zero matrix).
+    pub drift: CMatrix,
+    /// Control operators `H_k`.
+    pub controls: Vec<CMatrix>,
+}
+
+impl PiecewiseHamiltonian {
+    /// Creates a Hamiltonian model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrices are not square or have mismatched dimensions.
+    pub fn new(drift: CMatrix, controls: Vec<CMatrix>) -> Self {
+        assert!(drift.is_square(), "drift must be square");
+        for c in &controls {
+            assert!(c.is_square(), "control operator must be square");
+            assert_eq!(c.rows(), drift.rows(), "control dimension mismatch");
+        }
+        Self { drift, controls }
+    }
+
+    /// System dimension.
+    pub fn dim(&self) -> usize {
+        self.drift.rows()
+    }
+
+    /// Number of control fields.
+    pub fn n_controls(&self) -> usize {
+        self.controls.len()
+    }
+
+    /// The total Hamiltonian for one time step given the control amplitudes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `amplitudes.len() != n_controls()`.
+    pub fn at(&self, amplitudes: &[f64]) -> CMatrix {
+        assert_eq!(
+            amplitudes.len(),
+            self.controls.len(),
+            "amplitude count mismatch"
+        );
+        let mut h = self.drift.clone();
+        for (u, hk) in amplitudes.iter().zip(self.controls.iter()) {
+            if *u != 0.0 {
+                h += &hk.scale_re(*u);
+            }
+        }
+        h
+    }
+
+    /// Single-step propagator `exp(-i·2π·dt·H(u))`.
+    ///
+    /// The `2π` converts control amplitudes expressed in frequency units (GHz)
+    /// and times in nanoseconds into phase.
+    pub fn step_propagator(&self, amplitudes: &[f64], dt: f64) -> CMatrix {
+        let h = self.at(amplitudes);
+        expm::expm(&h.scale(C64::new(0.0, -2.0 * std::f64::consts::PI * dt)))
+    }
+
+    /// Full propagator of a pulse: `U = U_N … U_2 U_1` for the amplitude matrix
+    /// `pulse[step][control]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any step has the wrong number of amplitudes.
+    pub fn propagate(&self, pulse: &[Vec<f64>], dt: f64) -> CMatrix {
+        let mut u = CMatrix::identity(self.dim());
+        for amps in pulse {
+            let step = self.step_propagator(amps, dt);
+            u = step.matmul(&u);
+        }
+        u
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qcc_math::{gate_fidelity, pauli};
+    use std::f64::consts::PI;
+
+    #[test]
+    fn constant_x_drive_produces_rotation() {
+        // Driving σx/2 with amplitude Ω for time t rotates by θ = 2π·Ω·t.
+        let h = PiecewiseHamiltonian::new(CMatrix::zeros(2, 2), vec![pauli::sigma_x().scale_re(0.5)]);
+        let omega = 0.1; // GHz
+        let t_total = 2.5; // ns -> θ = 2π·0.25 = π/2
+        let steps = 50;
+        let dt = t_total / steps as f64;
+        let pulse = vec![vec![omega]; steps];
+        let u = h.propagate(&pulse, dt);
+        let want = pauli::rx(2.0 * PI * omega * t_total);
+        assert!(gate_fidelity(&u, &want) > 1.0 - 1e-9);
+    }
+
+    #[test]
+    fn zero_pulse_is_identity() {
+        let h = PiecewiseHamiltonian::new(
+            CMatrix::zeros(4, 4),
+            vec![pauli::sigma_x().kron(&CMatrix::identity(2))],
+        );
+        let pulse = vec![vec![0.0]; 10];
+        assert!(h.propagate(&pulse, 1.0).is_identity(1e-12));
+    }
+
+    #[test]
+    fn drift_alone_evolves() {
+        // Drift = 0.25·Z ⇒ after t=1 ns the propagator is Rz(2π·0.5) up to phase.
+        let h = PiecewiseHamiltonian::new(pauli::sigma_z().scale_re(0.25), vec![]);
+        let u = h.propagate(&vec![vec![]; 4], 0.25);
+        let want = pauli::rz(2.0 * PI * 0.5);
+        assert!(gate_fidelity(&u, &want) > 1.0 - 1e-9);
+    }
+
+    #[test]
+    fn xy_coupling_produces_iswap() {
+        // H = u·(XX+YY)/2, with ∫u dt = 1/4 (in cycles) giving iSWAP.
+        let xx = pauli::sigma_x().kron(&pauli::sigma_x());
+        let yy = pauli::sigma_y().kron(&pauli::sigma_y());
+        let coupling = (&xx + &yy).scale_re(0.5);
+        let h = PiecewiseHamiltonian::new(CMatrix::zeros(4, 4), vec![coupling]);
+        let u_max = 0.02; // GHz, the paper's two-qubit drive limit
+        let t_total = 12.5; // ns ⇒ 2π·0.02·12.5 = π/2 rotation of the XY block
+        let steps = 100;
+        // A negative drive of the XY term generates iSWAP (a positive one
+        // generates iSWAP†); either way the magnitude stays within the limit.
+        let pulse = vec![vec![-u_max]; steps];
+        let u = h.propagate(&pulse, t_total / steps as f64);
+        let fid = gate_fidelity(&u, &pauli::iswap());
+        assert!(fid > 1.0 - 1e-6, "fidelity {fid}");
+    }
+
+    #[test]
+    fn propagator_is_unitary_for_random_pulse() {
+        let h = PiecewiseHamiltonian::new(
+            pauli::sigma_z().kron(&pauli::sigma_z()).scale_re(0.01),
+            vec![
+                pauli::sigma_x().kron(&CMatrix::identity(2)).scale_re(0.5),
+                CMatrix::identity(2).kron(&pauli::sigma_x()).scale_re(0.5),
+            ],
+        );
+        let pulse: Vec<Vec<f64>> = (0..20)
+            .map(|i| vec![0.05 * ((i % 5) as f64 - 2.0), 0.03 * ((i % 3) as f64)])
+            .collect();
+        let u = h.propagate(&pulse, 0.5);
+        assert!(u.is_unitary(1e-9));
+    }
+
+    #[test]
+    #[should_panic]
+    fn mismatched_amplitudes_panic() {
+        let h = PiecewiseHamiltonian::new(CMatrix::zeros(2, 2), vec![pauli::sigma_x()]);
+        h.at(&[0.1, 0.2]);
+    }
+}

@@ -1,0 +1,345 @@
+//! Dense state-vector simulation of quantum circuits.
+//!
+//! This plays the role of the QuTiP backend the paper uses for verification
+//! (§3.6): it checks that circuits, aggregated instructions and optimized
+//! pulses all implement the same transformation.
+
+use qcc_ir::{Circuit, Instruction};
+use qcc_math::{CMatrix, C64};
+
+/// A pure quantum state of `n` qubits stored as a dense vector of `2^n`
+/// amplitudes (big-endian: qubit 0 is the most significant bit of the index).
+///
+/// # Examples
+///
+/// ```
+/// use qcc_sim::StateVector;
+/// use qcc_ir::{Circuit, Gate};
+///
+/// let mut bell = Circuit::new(2);
+/// bell.push(Gate::H, &[0]);
+/// bell.push(Gate::Cnot, &[0, 1]);
+/// let state = StateVector::zero(2).evolved(&bell);
+/// let probs = state.probabilities();
+/// assert!((probs[0] - 0.5).abs() < 1e-12);
+/// assert!((probs[3] - 0.5).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct StateVector {
+    n_qubits: usize,
+    amplitudes: Vec<C64>,
+}
+
+impl StateVector {
+    /// The all-zeros computational basis state `|0…0⟩`.
+    pub fn zero(n_qubits: usize) -> Self {
+        assert!(n_qubits <= 24, "state vector too large");
+        let mut amplitudes = vec![C64::zero(); 1usize << n_qubits];
+        amplitudes[0] = C64::one();
+        Self {
+            n_qubits,
+            amplitudes,
+        }
+    }
+
+    /// A computational basis state `|index⟩`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= 2^n_qubits`.
+    pub fn basis(n_qubits: usize, index: usize) -> Self {
+        let mut s = Self::zero(n_qubits);
+        assert!(index < s.amplitudes.len(), "basis index out of range");
+        s.amplitudes[0] = C64::zero();
+        s.amplitudes[index] = C64::one();
+        s
+    }
+
+    /// Builds a state from raw amplitudes (normalizing them).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the length is not a power of two or the vector has zero norm.
+    pub fn from_amplitudes(amplitudes: Vec<C64>) -> Self {
+        let len = amplitudes.len();
+        assert!(len.is_power_of_two(), "amplitude count must be a power of two");
+        let n_qubits = len.trailing_zeros() as usize;
+        let norm: f64 = amplitudes.iter().map(|a| a.norm_sqr()).sum::<f64>().sqrt();
+        assert!(norm > 1e-300, "cannot normalize the zero vector");
+        let amplitudes = amplitudes.into_iter().map(|a| a / norm).collect();
+        Self {
+            n_qubits,
+            amplitudes,
+        }
+    }
+
+    /// Number of qubits.
+    pub fn n_qubits(&self) -> usize {
+        self.n_qubits
+    }
+
+    /// The amplitude vector.
+    pub fn amplitudes(&self) -> &[C64] {
+        &self.amplitudes
+    }
+
+    /// Measurement probabilities in the computational basis.
+    pub fn probabilities(&self) -> Vec<f64> {
+        self.amplitudes.iter().map(|a| a.norm_sqr()).collect()
+    }
+
+    /// Squared norm (should always be ≈ 1).
+    pub fn norm_sqr(&self) -> f64 {
+        self.amplitudes.iter().map(|a| a.norm_sqr()).sum()
+    }
+
+    /// Overlap `⟨self|other⟩`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the qubit counts differ.
+    pub fn inner(&self, other: &StateVector) -> C64 {
+        assert_eq!(self.n_qubits, other.n_qubits, "state size mismatch");
+        self.amplitudes
+            .iter()
+            .zip(other.amplitudes.iter())
+            .map(|(a, b)| a.conj() * *b)
+            .sum()
+    }
+
+    /// Fidelity `|⟨self|other⟩|²`.
+    pub fn fidelity(&self, other: &StateVector) -> f64 {
+        self.inner(other).norm_sqr()
+    }
+
+    /// Applies a `k`-qubit gate matrix to the given target qubits in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix dimension does not match the number of targets or
+    /// a target is out of range.
+    pub fn apply_matrix(&mut self, matrix: &CMatrix, targets: &[usize]) {
+        let k = targets.len();
+        assert_eq!(matrix.rows(), 1 << k, "matrix does not match target count");
+        for t in targets {
+            assert!(*t < self.n_qubits, "target {t} out of range");
+        }
+        let n = self.n_qubits;
+        // Bit positions of the targets counted from the least-significant bit.
+        let bits: Vec<usize> = targets.iter().map(|&q| n - 1 - q).collect();
+        let dim = self.amplitudes.len();
+        let mut scratch = vec![C64::zero(); 1 << k];
+        let mut visited = vec![false; dim];
+        for base in 0..dim {
+            if visited[base] {
+                continue;
+            }
+            // Only handle indices where all target bits are zero; the rest of
+            // the orbit is generated from it.
+            if bits.iter().any(|&b| (base >> b) & 1 == 1) {
+                continue;
+            }
+            // Gather the 2^k amplitudes of this block.
+            for sub in 0..(1usize << k) {
+                let mut idx = base;
+                for (pos, &b) in bits.iter().enumerate() {
+                    // `pos` indexes the gate's qubit order: targets[0] is the
+                    // most significant bit of the gate's local index.
+                    if (sub >> (k - 1 - pos)) & 1 == 1 {
+                        idx |= 1 << b;
+                    }
+                }
+                scratch[sub] = self.amplitudes[idx];
+                visited[idx] = true;
+            }
+            // Apply the matrix.
+            for row in 0..(1usize << k) {
+                let mut acc = C64::zero();
+                for col in 0..(1usize << k) {
+                    let m = matrix[(row, col)];
+                    if m.re != 0.0 || m.im != 0.0 {
+                        acc += m * scratch[col];
+                    }
+                }
+                let mut idx = base;
+                for (pos, &b) in bits.iter().enumerate() {
+                    if (row >> (k - 1 - pos)) & 1 == 1 {
+                        idx |= 1 << b;
+                    }
+                }
+                self.amplitudes[idx] = acc;
+            }
+        }
+    }
+
+    /// Applies a single instruction.
+    pub fn apply_instruction(&mut self, inst: &Instruction) {
+        self.apply_matrix(&inst.gate.matrix(), &inst.qubits);
+    }
+
+    /// Applies a whole circuit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the circuit is wider than the state.
+    pub fn apply_circuit(&mut self, circuit: &Circuit) {
+        assert!(
+            circuit.n_qubits() <= self.n_qubits,
+            "circuit wider than state"
+        );
+        for inst in circuit.instructions() {
+            self.apply_instruction(inst);
+        }
+    }
+
+    /// Returns a new state equal to this one evolved by `circuit`.
+    pub fn evolved(&self, circuit: &Circuit) -> StateVector {
+        let mut s = self.clone();
+        s.apply_circuit(circuit);
+        s
+    }
+
+    /// Expectation value of a diagonal observable given by its diagonal
+    /// entries (e.g. an Ising energy).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `diagonal.len()` does not match the state dimension.
+    pub fn expectation_diagonal(&self, diagonal: &[f64]) -> f64 {
+        assert_eq!(diagonal.len(), self.amplitudes.len(), "dimension mismatch");
+        self.amplitudes
+            .iter()
+            .zip(diagonal.iter())
+            .map(|(a, d)| a.norm_sqr() * d)
+            .sum()
+    }
+
+    /// Probability that measuring qubit `q` yields `1`.
+    pub fn prob_one(&self, q: usize) -> f64 {
+        assert!(q < self.n_qubits);
+        let bit = self.n_qubits - 1 - q;
+        self.amplitudes
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| (i >> bit) & 1 == 1)
+            .map(|(_, a)| a.norm_sqr())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qcc_ir::Gate;
+    use qcc_math::pauli;
+
+    #[test]
+    fn zero_state_is_normalized() {
+        let s = StateVector::zero(3);
+        assert!((s.norm_sqr() - 1.0).abs() < 1e-14);
+        assert_eq!(s.probabilities()[0], 1.0);
+    }
+
+    #[test]
+    fn x_flips_qubit() {
+        let mut s = StateVector::zero(2);
+        s.apply_matrix(&pauli::sigma_x(), &[1]);
+        // |01> has index 1.
+        assert!((s.probabilities()[1] - 1.0).abs() < 1e-14);
+        assert!((s.prob_one(1) - 1.0).abs() < 1e-14);
+        assert!(s.prob_one(0) < 1e-14);
+    }
+
+    #[test]
+    fn bell_state_probabilities() {
+        let mut c = Circuit::new(2);
+        c.push(Gate::H, &[0]);
+        c.push(Gate::Cnot, &[0, 1]);
+        let s = StateVector::zero(2).evolved(&c);
+        let p = s.probabilities();
+        assert!((p[0] - 0.5).abs() < 1e-12);
+        assert!((p[3] - 0.5).abs() < 1e-12);
+        assert!(p[1] < 1e-12 && p[2] < 1e-12);
+    }
+
+    #[test]
+    fn ghz_state_on_four_qubits() {
+        let mut c = Circuit::new(4);
+        c.push(Gate::H, &[0]);
+        for i in 0..3 {
+            c.push(Gate::Cnot, &[i, i + 1]);
+        }
+        let s = StateVector::zero(4).evolved(&c);
+        let p = s.probabilities();
+        assert!((p[0] - 0.5).abs() < 1e-12);
+        assert!((p[15] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn statevector_matches_dense_unitary() {
+        let mut c = Circuit::new(3);
+        c.push(Gate::H, &[0]);
+        c.push(Gate::Rz(0.7), &[1]);
+        c.push(Gate::Cnot, &[0, 2]);
+        c.push(Gate::Rzz(1.2), &[1, 2]);
+        c.push(Gate::Swap, &[0, 1]);
+        let via_sim = StateVector::zero(3).evolved(&c);
+        let u = c.unitary();
+        // Column 0 of U is the evolved |000>.
+        for (i, amp) in via_sim.amplitudes().iter().enumerate() {
+            assert!(amp.approx_eq(u[(i, 0)], 1e-11), "row {i}");
+        }
+    }
+
+    #[test]
+    fn apply_gate_with_reversed_targets() {
+        // CNOT with control q1, target q0.
+        let mut s = StateVector::basis(2, 0b01); // q0=0, q1=1
+        s.apply_matrix(&pauli::cnot(), &[1, 0]);
+        // Control (q1) is 1 so q0 flips: |11> = index 3.
+        assert!((s.probabilities()[3] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn inner_product_and_fidelity() {
+        let zero = StateVector::zero(1);
+        let mut plus = StateVector::zero(1);
+        plus.apply_matrix(&pauli::hadamard(), &[0]);
+        assert!((zero.fidelity(&plus) - 0.5).abs() < 1e-12);
+        assert!((plus.fidelity(&plus) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn expectation_of_diagonal_observable() {
+        let mut c = Circuit::new(2);
+        c.push(Gate::X, &[0]);
+        let s = StateVector::zero(2).evolved(&c);
+        // Observable Z0: diag over basis |q0 q1>: +1 when q0=0, -1 when q0=1.
+        let diag = vec![1.0, 1.0, -1.0, -1.0];
+        assert!((s.expectation_diagonal(&diag) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn from_amplitudes_normalizes() {
+        let s = StateVector::from_amplitudes(vec![
+            C64::new(3.0, 0.0),
+            C64::zero(),
+            C64::zero(),
+            C64::new(4.0, 0.0),
+        ]);
+        let p = s.probabilities();
+        assert!((p[0] - 0.36).abs() < 1e-12);
+        assert!((p[3] - 0.64).abs() < 1e-12);
+    }
+
+    #[test]
+    fn norm_preserved_by_unitaries() {
+        let mut c = Circuit::new(3);
+        c.push(Gate::H, &[0]);
+        c.push(Gate::Ry(1.1), &[1]);
+        c.push(Gate::ISwap, &[1, 2]);
+        c.push(Gate::Rzz(0.5), &[0, 2]);
+        let s = StateVector::zero(3).evolved(&c);
+        assert!((s.norm_sqr() - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,84 @@
+//! Property tests: the state-vector simulator agrees with dense unitaries and
+//! preserves norms.
+
+use proptest::prelude::*;
+use qcc_ir::{Circuit, Gate};
+use qcc_sim::StateVector;
+
+fn arb_circuit(n: usize, max_len: usize) -> impl Strategy<Value = Circuit> {
+    prop::collection::vec((0usize..7, 0..n, 0..n, -3.0f64..3.0), 1..max_len).prop_map(
+        move |spec| {
+            let mut c = Circuit::new(n);
+            for (kind, a, b, theta) in spec {
+                match kind {
+                    0 => {
+                        c.push(Gate::H, &[a]);
+                    }
+                    1 => {
+                        c.push(Gate::Rz(theta), &[a]);
+                    }
+                    2 => {
+                        c.push(Gate::Rx(theta), &[a]);
+                    }
+                    3 if a != b => {
+                        c.push(Gate::Cnot, &[a, b]);
+                    }
+                    4 if a != b => {
+                        c.push(Gate::Rzz(theta), &[a, b]);
+                    }
+                    5 if a != b => {
+                        c.push(Gate::ISwap, &[a, b]);
+                    }
+                    6 if a != b => {
+                        c.push(Gate::Swap, &[a, b]);
+                    }
+                    _ => {
+                        c.push(Gate::T, &[a]);
+                    }
+                }
+            }
+            c
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// Evolving |0...0> through the simulator matches column 0 of the dense
+    /// circuit unitary.
+    #[test]
+    fn simulator_matches_dense_unitary(c in arb_circuit(4, 14)) {
+        let s = StateVector::zero(4).evolved(&c);
+        let u = c.unitary();
+        for (i, amp) in s.amplitudes().iter().enumerate() {
+            prop_assert!(amp.approx_eq(u[(i, 0)], 1e-9));
+        }
+    }
+
+    /// Unitary evolution preserves the norm.
+    #[test]
+    fn norm_is_preserved(c in arb_circuit(5, 20)) {
+        let s = StateVector::zero(5).evolved(&c);
+        prop_assert!((s.norm_sqr() - 1.0).abs() < 1e-9);
+    }
+
+    /// Applying a circuit and then its inverse returns to the initial state.
+    #[test]
+    fn inverse_restores_state(c in arb_circuit(4, 12)) {
+        let mut full = c.clone();
+        full.extend(&c.inverse());
+        let s = StateVector::zero(4).evolved(&full);
+        prop_assert!((s.probabilities()[0] - 1.0).abs() < 1e-8);
+    }
+
+    /// Basis states evolve to the matching unitary column.
+    #[test]
+    fn basis_states_select_columns(c in arb_circuit(3, 10), idx in 0usize..8) {
+        let s = StateVector::basis(3, idx).evolved(&c);
+        let u = c.unitary();
+        for (i, amp) in s.amplitudes().iter().enumerate() {
+            prop_assert!(amp.approx_eq(u[(i, idx)], 1e-9));
+        }
+    }
+}

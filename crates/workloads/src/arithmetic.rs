@@ -1,0 +1,282 @@
+//! Reversible arithmetic building blocks for the Grover square-root benchmark.
+//!
+//! The square-root circuits in Table 3 come from reversible logic synthesis:
+//! Grover search over `x` with an oracle that computes `x²` and compares it to
+//! a target. This module provides the arithmetic pieces — multi-controlled
+//! constant addition (ripple increments), a squarer built from
+//! doubly-controlled constant adds, and a register comparator — all exact and
+//! built from the Toffoli/CNOT/X gate set so they flatten to the paper's
+//! virtual ISA.
+
+use qcc_ir::{decompose, Circuit, Gate};
+
+/// Register layout of the squarer/oracle circuits.
+///
+/// * `x` — the `m`-bit input register being searched over,
+/// * `acc` — the `2m`-bit accumulator receiving `x²`,
+/// * `anc` — ancilla pool used by the multi-controlled gates (returned clean).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SquarerLayout {
+    /// Input register (most-significant bit first).
+    pub x: Vec<usize>,
+    /// Accumulator register (most-significant bit first).
+    pub acc: Vec<usize>,
+    /// Ancilla pool.
+    pub anc: Vec<usize>,
+}
+
+impl SquarerLayout {
+    /// Standard layout for an `m`-bit input: qubits `[0, m)` hold `x`,
+    /// `[m, 3m)` the accumulator and the rest the ancilla pool.
+    pub fn standard(m: usize) -> Self {
+        let anc_count = (2 * m).max(2);
+        Self {
+            x: (0..m).collect(),
+            acc: (m..3 * m).collect(),
+            anc: (3 * m..3 * m + anc_count).collect(),
+        }
+    }
+
+    /// Total number of qubits.
+    pub fn n_qubits(&self) -> usize {
+        self.x.len() + self.acc.len() + self.anc.len()
+    }
+}
+
+/// Appends a multi-controlled X with the given controls to `circuit`, using
+/// ancillas from `anc` (which must be clean and is returned clean).
+pub fn append_mcx(circuit: &mut Circuit, controls: &[usize], target: usize, anc: &[usize]) {
+    for inst in decompose::multi_controlled_x(controls, target, anc) {
+        circuit.push_instruction(inst);
+    }
+}
+
+/// Appends a controlled "+2^k" (increment starting at bit `k`) on the register
+/// `acc` (most-significant bit first), controlled on `controls`.
+///
+/// The increment propagates carries with multi-controlled X gates: bit
+/// `acc[j]` flips when all lower bits from position `k` up to `j+1` are one
+/// (and the controls hold). Gates are emitted from the most significant bit
+/// downwards so each flip sees the *original* values of the lower bits.
+pub fn append_controlled_add_power(
+    circuit: &mut Circuit,
+    acc: &[usize],
+    k: usize,
+    controls: &[usize],
+    anc: &[usize],
+) {
+    let len = acc.len();
+    if k >= len {
+        return; // adding beyond the register width wraps away: nothing to do
+    }
+    // Position p counts from the least-significant end; acc is MSB-first so
+    // bit p lives at acc[len - 1 - p].
+    for p in (k..len).rev() {
+        let mut ctrls: Vec<usize> = controls.to_vec();
+        for lower in k..p {
+            ctrls.push(acc[len - 1 - lower]);
+        }
+        append_mcx(circuit, &ctrls, acc[len - 1 - p], anc);
+    }
+}
+
+/// Builds the squarer: `acc += x²` (mod 2^|acc|) as a reversible circuit.
+///
+/// For every pair of input bits `x_i·x_j` (values `2^i` and `2^j`, counted
+/// from the least-significant end) the product contributes `2^(i+j)` once for
+/// `i == j` and `2^(i+j+1)` for `i < j`; each contribution is added with a
+/// doubly-controlled constant adder.
+pub fn squarer_circuit(layout: &SquarerLayout) -> Circuit {
+    let m = layout.x.len();
+    let mut c = Circuit::new(layout.n_qubits());
+    for i in 0..m {
+        for j in i..m {
+            // Bit values: x[i] is MSB-first, so its value exponent is m-1-i.
+            let vi = m - 1 - i;
+            let vj = m - 1 - j;
+            let exponent = if i == j { vi + vj } else { vi + vj + 1 };
+            let controls: Vec<usize> = if i == j {
+                vec![layout.x[i]]
+            } else {
+                vec![layout.x[i], layout.x[j]]
+            };
+            append_controlled_add_power(&mut c, &layout.acc, exponent, &controls, &layout.anc);
+        }
+    }
+    c
+}
+
+/// Appends a phase flip (Z) on the all-controls-true condition that
+/// `acc == constant`, by X-ing the zero bits, applying a multi-controlled Z and
+/// undoing the X's.
+pub fn append_compare_and_flip(
+    circuit: &mut Circuit,
+    acc: &[usize],
+    constant: u64,
+    anc: &[usize],
+) {
+    let len = acc.len();
+    // X the bits where the constant has a 0 so the all-ones pattern encodes
+    // equality.
+    let flip_bits: Vec<usize> = (0..len)
+        .filter(|&p| (constant >> p) & 1 == 0)
+        .map(|p| acc[len - 1 - p])
+        .collect();
+    for &q in &flip_bits {
+        circuit.push(Gate::X, &[q]);
+    }
+    // Multi-controlled Z = H target, MCX, H target.
+    let target = acc[0];
+    let controls: Vec<usize> = acc[1..].to_vec();
+    circuit.push(Gate::H, &[target]);
+    append_mcx(circuit, &controls, target, anc);
+    circuit.push(Gate::H, &[target]);
+    for &q in &flip_bits {
+        circuit.push(Gate::X, &[q]);
+    }
+}
+
+/// Appends the Grover diffusion operator on the `x` register.
+pub fn append_diffusion(circuit: &mut Circuit, x: &[usize], anc: &[usize]) {
+    for &q in x {
+        circuit.push(Gate::H, &[q]);
+        circuit.push(Gate::X, &[q]);
+    }
+    let target = *x.last().expect("non-empty register");
+    let controls: Vec<usize> = x[..x.len() - 1].to_vec();
+    circuit.push(Gate::H, &[target]);
+    if controls.is_empty() {
+        circuit.push(Gate::X, &[target]);
+    } else {
+        append_mcx(circuit, &controls, target, anc);
+    }
+    circuit.push(Gate::H, &[target]);
+    for &q in x {
+        circuit.push(Gate::X, &[q]);
+        circuit.push(Gate::H, &[q]);
+    }
+}
+
+/// Encodes a classical value into a register with X gates (for tests).
+pub fn append_encode(circuit: &mut Circuit, register: &[usize], value: u64) {
+    let len = register.len();
+    for p in 0..len {
+        if (value >> p) & 1 == 1 {
+            circuit.push(Gate::X, &[register[len - 1 - p]]);
+        }
+    }
+}
+
+/// Reads the (classical) value of a register from a basis-state index, given
+/// the total qubit count (for tests).
+pub fn register_value(basis: usize, register: &[usize], n_qubits: usize) -> u64 {
+    let len = register.len();
+    let mut value = 0u64;
+    for (i, &q) in register.iter().enumerate() {
+        let bit = (basis >> (n_qubits - 1 - q)) & 1;
+        let p = len - 1 - i;
+        value |= (bit as u64) << p;
+    }
+    value
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qcc_sim::StateVector;
+
+    /// Runs a circuit on a basis state and returns the (single) output basis
+    /// index, asserting the output is classical.
+    fn run_classical(circuit: &Circuit, input: usize) -> usize {
+        let n = circuit.n_qubits();
+        let flat = decompose::flatten(circuit);
+        let state = StateVector::basis(n, input).evolved(&flat);
+        let probs = state.probabilities();
+        let (idx, p) = probs
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap();
+        assert!(*p > 0.999, "output is not classical (p = {p})");
+        idx
+    }
+
+    #[test]
+    fn controlled_add_power_adds_when_control_set() {
+        // 4-bit accumulator on qubits 1..5, control on qubit 0.
+        let mut c = Circuit::new(7);
+        let acc: Vec<usize> = (1..5).collect();
+        let anc: Vec<usize> = (5..7).collect();
+        append_controlled_add_power(&mut c, &acc, 1, &[0], &anc);
+        // Input: control=1, acc=0b0011 -> expect 0b0101 (3 + 2 = 5).
+        let mut input_circuit = Circuit::new(7);
+        input_circuit.push(Gate::X, &[0]);
+        append_encode(&mut input_circuit, &acc, 3);
+        input_circuit.extend(&c);
+        let out = run_classical(&input_circuit, 0);
+        assert_eq!(register_value(out, &acc, 7), 5);
+        // Without the control nothing happens.
+        let mut no_control = Circuit::new(7);
+        append_encode(&mut no_control, &acc, 3);
+        no_control.extend(&c);
+        let out2 = run_classical(&no_control, 0);
+        assert_eq!(register_value(out2, &acc, 7), 3);
+    }
+
+    #[test]
+    fn carry_propagates_through_ones() {
+        let mut c = Circuit::new(7);
+        let acc: Vec<usize> = (1..5).collect();
+        let anc: Vec<usize> = (5..7).collect();
+        append_controlled_add_power(&mut c, &acc, 0, &[0], &anc);
+        // acc = 0b0111, +1 -> 0b1000
+        let mut full = Circuit::new(7);
+        full.push(Gate::X, &[0]);
+        append_encode(&mut full, &acc, 7);
+        full.extend(&c);
+        let out = run_classical(&full, 0);
+        assert_eq!(register_value(out, &acc, 7), 8);
+    }
+
+    #[test]
+    fn squarer_computes_squares_for_two_bit_inputs() {
+        let layout = SquarerLayout::standard(2);
+        let squarer = squarer_circuit(&layout);
+        for x in 0u64..4 {
+            let mut full = Circuit::new(layout.n_qubits());
+            append_encode(&mut full, &layout.x, x);
+            full.extend(&squarer);
+            let out = run_classical(&full, 0);
+            assert_eq!(
+                register_value(out, &layout.acc, layout.n_qubits()),
+                x * x,
+                "squaring {x}"
+            );
+            // Input register and ancillas are preserved / clean.
+            assert_eq!(register_value(out, &layout.x, layout.n_qubits()), x);
+            assert_eq!(register_value(out, &layout.anc, layout.n_qubits()), 0);
+        }
+    }
+
+    #[test]
+    fn compare_and_flip_marks_only_the_target_value() {
+        // 2-bit accumulator; flip phase when acc == 2.
+        let mut c = Circuit::new(4);
+        let acc = vec![0usize, 1];
+        let anc = vec![2usize, 3];
+        append_compare_and_flip(&mut c, &acc, 2, &anc);
+        let flat = decompose::flatten(&c);
+        let u = flat.unitary();
+        // Basis |10 00⟩ = index 0b1000 = 8 picks up a -1 phase; |01 00⟩ does not.
+        assert!((u[(8, 8)].re + 1.0).abs() < 1e-9, "{}", u[(8, 8)]);
+        assert!((u[(4, 4)].re - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn layout_sizes() {
+        let l = SquarerLayout::standard(3);
+        assert_eq!(l.x.len(), 3);
+        assert_eq!(l.acc.len(), 6);
+        assert_eq!(l.n_qubits(), 3 + 6 + 6);
+    }
+}

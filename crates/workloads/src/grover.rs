@@ -1,0 +1,147 @@
+//! Grover square-root benchmark (Table 3, rows 6–8).
+//!
+//! The benchmark searches for the `m`-bit value `x` whose square equals a
+//! given target: Grover iterations of (oracle, diffusion) where the oracle
+//! reversibly computes `x²` into an accumulator, phase-flips on equality with
+//! the target, and uncomputes. The resulting circuits are deep, serial, and
+//! dominated by Toffoli chains — exactly the "low parallelism / low
+//! commutativity / sophisticated encoding" profile the paper attributes to its
+//! square-root benchmarks (§5.2, §6.4).
+
+use crate::arithmetic::{
+    append_compare_and_flip, append_diffusion, squarer_circuit, SquarerLayout,
+};
+use qcc_ir::{decompose, Circuit, Gate};
+
+/// Parameters of the square-root search.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SquareRootParams {
+    /// Width of the searched register in bits.
+    pub input_bits: usize,
+    /// The square to invert (the oracle marks x with x² == target).
+    pub target_square: u64,
+    /// Number of Grover iterations.
+    pub iterations: usize,
+}
+
+impl SquareRootParams {
+    /// The benchmark instance for `m`-bit inputs, searching for √(m-dependent
+    /// perfect square) with one Grover iteration (enough to dominate the
+    /// latency profile; more iterations just repeat the same structure).
+    pub fn benchmark(input_bits: usize) -> Self {
+        let root = (1u64 << (input_bits - 1)) + 1; // an odd value with the MSB set
+        Self {
+            input_bits,
+            target_square: (root * root) & ((1 << (2 * input_bits)) - 1),
+            iterations: 1,
+        }
+    }
+}
+
+/// Builds the full Grover square-root circuit.
+pub fn square_root_circuit(params: &SquareRootParams) -> Circuit {
+    let layout = SquarerLayout::standard(params.input_bits);
+    let mut c = Circuit::new(layout.n_qubits());
+    // Uniform superposition over x.
+    for &q in &layout.x {
+        c.push(Gate::H, &[q]);
+    }
+    let squarer = squarer_circuit(&layout);
+    let unsquarer = squarer.inverse();
+    for _ in 0..params.iterations {
+        // Oracle: compute x², phase-flip on equality, uncompute.
+        c.extend(&squarer);
+        append_compare_and_flip(&mut c, &layout.acc, params.target_square, &layout.anc);
+        c.extend(&unsquarer);
+        // Diffusion on the input register.
+        append_diffusion(&mut c, &layout.x, &layout.anc);
+    }
+    c
+}
+
+/// The benchmark instance "square root, m-bit input" flattened to the 1-/2-
+/// qubit ISA (what the compiler actually consumes).
+pub fn square_root_benchmark(input_bits: usize) -> Circuit {
+    decompose::flatten(&square_root_circuit(&SquareRootParams::benchmark(
+        input_bits,
+    )))
+}
+
+/// The register layout used by [`square_root_circuit`], exposed so tests and
+/// benches can read out the search register.
+pub fn benchmark_layout(input_bits: usize) -> SquarerLayout {
+    SquarerLayout::standard(input_bits)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arithmetic::register_value;
+    use qcc_sim::StateVector;
+
+    #[test]
+    fn grover_amplifies_the_correct_root() {
+        // 2-bit search: find x with x² = 9 → x = 3.
+        let params = SquareRootParams {
+            input_bits: 2,
+            target_square: 9,
+            iterations: 1,
+        };
+        let layout = benchmark_layout(2);
+        let circuit = decompose::flatten(&square_root_circuit(&params));
+        let state = StateVector::zero(circuit.n_qubits()).evolved(&circuit);
+        let probs = state.probabilities();
+        // Probability of measuring x = 3 in the input register.
+        let mut p_correct = 0.0;
+        let mut p_other_max: f64 = 0.0;
+        for (basis, p) in probs.iter().enumerate() {
+            let x = register_value(basis, &layout.x, circuit.n_qubits());
+            if x == 3 {
+                p_correct += p;
+            } else {
+                p_other_max = p_other_max.max(*p);
+            }
+        }
+        // One Grover iteration over 4 items boosts the marked item to ~100%.
+        assert!(p_correct > 0.9, "P(x=3) = {p_correct}");
+    }
+
+    #[test]
+    fn oracle_uncomputes_the_accumulator() {
+        let params = SquareRootParams {
+            input_bits: 2,
+            target_square: 4,
+            iterations: 1,
+        };
+        let layout = benchmark_layout(2);
+        let circuit = decompose::flatten(&square_root_circuit(&params));
+        let state = StateVector::zero(circuit.n_qubits()).evolved(&circuit);
+        // After the full iteration the accumulator and ancillas must be |0…0⟩
+        // for every branch with non-negligible amplitude.
+        for (basis, p) in state.probabilities().iter().enumerate() {
+            if *p > 1e-9 {
+                assert_eq!(register_value(basis, &layout.acc, circuit.n_qubits()), 0);
+                assert_eq!(register_value(basis, &layout.anc, circuit.n_qubits()), 0);
+            }
+        }
+    }
+
+    #[test]
+    fn benchmark_sizes_grow_with_input_bits() {
+        let c3 = square_root_benchmark(3);
+        let c4 = square_root_benchmark(4);
+        assert!(c3.n_qubits() < c4.n_qubits());
+        assert!(c3.len() < c4.len());
+        assert!(c3.len() > 500, "square-root circuits are deep: {}", c3.len());
+        // Everything is flattened to the virtual ISA.
+        assert!(c3.instructions().iter().all(|i| i.qubits.len() <= 2));
+    }
+
+    #[test]
+    fn benchmark_parameters_pick_a_representable_square() {
+        for m in [2usize, 3, 4] {
+            let p = SquareRootParams::benchmark(m);
+            assert!(p.target_square < (1 << (2 * m)));
+        }
+    }
+}

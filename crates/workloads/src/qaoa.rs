@@ -1,0 +1,184 @@
+//! QAOA MAXCUT circuits (the first three rows of Table 3).
+//!
+//! The MAXCUT objective Hamiltonian is a sum of ZZ terms over the problem
+//! graph's edges; each term is encoded as the CNOT–Rz(γ)–CNOT block the paper
+//! uses throughout, preceded by the initial Hadamard layer and followed by the
+//! Rx(β) mixing layer. The three benchmark instances differ only in the
+//! problem graph — line, random 4-regular, and cluster — which controls their
+//! spatial locality (§6.3).
+
+use qcc_graph::{generators, Graph};
+use qcc_ir::{Circuit, Gate};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Parameters of one QAOA layer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QaoaAngles {
+    /// Objective (cost) angle γ.
+    pub gamma: f64,
+    /// Mixing angle β.
+    pub beta: f64,
+}
+
+impl Default for QaoaAngles {
+    fn default() -> Self {
+        // The angles of the paper's worked example (§3.1).
+        Self {
+            gamma: 5.67,
+            beta: 1.26,
+        }
+    }
+}
+
+/// Builds a `p`-layer QAOA MAXCUT circuit for the given problem graph.
+pub fn maxcut_circuit(graph: &Graph, angles: &[QaoaAngles]) -> Circuit {
+    let n = graph.len();
+    let mut c = Circuit::new(n);
+    for q in 0..n {
+        c.push(Gate::H, &[q]);
+    }
+    for layer in angles {
+        for (a, b, w) in graph.edges() {
+            if a == b {
+                continue;
+            }
+            c.push(Gate::Cnot, &[a, b]);
+            c.push(Gate::Rz(layer.gamma * w), &[b]);
+            c.push(Gate::Cnot, &[a, b]);
+        }
+        for q in 0..n {
+            c.push(Gate::Rx(layer.beta), &[q]);
+        }
+    }
+    c
+}
+
+/// Single-layer QAOA with the default angles.
+pub fn maxcut_circuit_p1(graph: &Graph) -> Circuit {
+    maxcut_circuit(graph, &[QaoaAngles::default()])
+}
+
+/// MAXCUT-line: a linear chain of `n` vertices (high spatial locality).
+pub fn maxcut_line(n: usize) -> Circuit {
+    maxcut_circuit_p1(&generators::line_graph(n))
+}
+
+/// MAXCUT-reg4: a random 4-regular graph on `n` vertices (medium locality).
+pub fn maxcut_reg4(n: usize, seed: u64) -> Circuit {
+    let mut rng = StdRng::seed_from_u64(seed);
+    maxcut_circuit_p1(&generators::random_regular_graph(&mut rng, n, 4))
+}
+
+/// MAXCUT-cluster: dense communities with sparse bridges (low locality).
+pub fn maxcut_cluster(clusters: usize, cluster_size: usize, seed: u64) -> Circuit {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let g = generators::cluster_graph(&mut rng, clusters, cluster_size, 0.7, clusters * 2);
+    maxcut_circuit_p1(&g)
+}
+
+/// The diagonal of the MAXCUT cost observable `Σ_(a,b) w·(1 - Z_a Z_b)/2`,
+/// indexed by computational basis state. Useful for checking that a QAOA state
+/// actually improves the expected cut value.
+pub fn maxcut_cost_diagonal(graph: &Graph) -> Vec<f64> {
+    let n = graph.len();
+    let dim = 1usize << n;
+    let mut diag = vec![0.0; dim];
+    for (a, b, w) in graph.edges() {
+        if a == b {
+            continue;
+        }
+        for (basis, value) in diag.iter_mut().enumerate() {
+            let bit_a = (basis >> (n - 1 - a)) & 1;
+            let bit_b = (basis >> (n - 1 - b)) & 1;
+            if bit_a != bit_b {
+                *value += w;
+            }
+        }
+    }
+    diag
+}
+
+/// The QAOA triangle of the paper's worked example (§3.1, Fig. 4): MAXCUT on a
+/// 3-vertex complete graph with γ = 5.67, β = 1.26.
+pub fn paper_triangle_example() -> Circuit {
+    maxcut_circuit_p1(&generators::complete_graph(3))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qcc_sim::StateVector;
+
+    #[test]
+    fn circuit_shape_matches_graph() {
+        let g = generators::line_graph(5);
+        let c = maxcut_circuit_p1(&g);
+        assert_eq!(c.n_qubits(), 5);
+        // 5 H + 4 edges × 3 gates + 5 Rx
+        assert_eq!(c.len(), 5 + 4 * 3 + 5);
+        assert_eq!(c.gate_counts()["cx"], 8);
+    }
+
+    #[test]
+    fn paper_triangle_has_expected_structure() {
+        let c = paper_triangle_example();
+        assert_eq!(c.n_qubits(), 3);
+        assert_eq!(c.gate_counts()["cx"], 6);
+        assert_eq!(c.gate_counts()["h"], 3);
+        assert_eq!(c.gate_counts()["rx"], 3);
+        assert_eq!(c.gate_counts()["rz"], 3);
+    }
+
+    #[test]
+    fn qaoa_improves_expected_cut_over_random_guessing() {
+        // Optimizing the two angles over a coarse grid (the "variational" part
+        // of QAOA) must beat the uniform-superposition expectation of the cut.
+        let g = generators::complete_graph(3);
+        let diag = maxcut_cost_diagonal(&g);
+        let uniform_cost = 0.5 * 3.0;
+        let mut best = f64::NEG_INFINITY;
+        for gi in 1..8 {
+            for bi in 1..8 {
+                let angles = [QaoaAngles {
+                    gamma: gi as f64 * 0.35,
+                    beta: bi as f64 * 0.2,
+                }];
+                let c = maxcut_circuit(&g, &angles);
+                let state = StateVector::zero(3).evolved(&c);
+                best = best.max(state.expectation_diagonal(&diag));
+            }
+        }
+        assert!(
+            best > uniform_cost + 0.2,
+            "best QAOA cost {best} vs uniform {uniform_cost}"
+        );
+    }
+
+    #[test]
+    fn benchmark_instances_have_table3_sizes() {
+        assert_eq!(maxcut_line(20).n_qubits(), 20);
+        assert_eq!(maxcut_reg4(30, 7).n_qubits(), 30);
+        assert_eq!(maxcut_cluster(5, 6, 7).n_qubits(), 30);
+    }
+
+    #[test]
+    fn multi_layer_qaoa_repeats_structure() {
+        let g = generators::line_graph(4);
+        let one = maxcut_circuit(&g, &[QaoaAngles::default()]);
+        let two = maxcut_circuit(&g, &[QaoaAngles::default(), QaoaAngles::default()]);
+        assert_eq!(two.len(), 2 * (one.len() - 4) + 4);
+    }
+
+    #[test]
+    fn cost_diagonal_counts_cut_edges() {
+        let g = generators::line_graph(3); // edges (0,1),(1,2)
+        let diag = maxcut_cost_diagonal(&g);
+        // |010⟩ cuts both edges.
+        assert!((diag[0b010] - 2.0).abs() < 1e-12);
+        // |000⟩ cuts none.
+        assert!(diag[0].abs() < 1e-12);
+        // |001⟩ cuts one.
+        assert!((diag[0b001] - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,43 @@
+//! Compile a slice of the Table 3 benchmark suite under every strategy and
+//! report normalized latencies plus aggregation statistics — a small-scale
+//! version of the Fig. 9 experiment suited to a laptop.
+//!
+//! Run with `cargo run --release --example benchmark_sweep`.
+
+use qcc::compiler::{AggregationOptions, Compiler, CompilerOptions, Strategy};
+use qcc::hw::{CalibratedLatencyModel, Device};
+use qcc::workloads::{standard_suite, SuiteScale};
+
+fn main() {
+    let suite = standard_suite(SuiteScale::Reduced, 7);
+    println!(
+        "{:<16} {:>7} {:>7} {:>8} {:>8} {:>8} {:>8}",
+        "benchmark", "qubits", "gates", "ISA(ns)", "CLS", "CLS+Agg", "swaps"
+    );
+    for bench in &suite {
+        let device = Device::transmon_grid(bench.circuit.n_qubits());
+        let model = CalibratedLatencyModel::new(device.limits);
+        let compiler = Compiler::new(device, &model);
+        let isa = compiler
+            .compile(&bench.circuit, &CompilerOptions::strategy(Strategy::IsaBaseline));
+        let cls = compiler.compile(&bench.circuit, &CompilerOptions::strategy(Strategy::Cls));
+        let full = compiler.compile(
+            &bench.circuit,
+            &CompilerOptions {
+                strategy: Strategy::ClsAggregation,
+                aggregation: AggregationOptions::with_width(10),
+            },
+        );
+        println!(
+            "{:<16} {:>7} {:>7} {:>8.0} {:>8.3} {:>8.3} {:>8}",
+            bench.name,
+            bench.n_qubits(),
+            bench.gate_count(),
+            isa.total_latency_ns,
+            cls.total_latency_ns / isa.total_latency_ns,
+            full.total_latency_ns / isa.total_latency_ns,
+            full.swap_count,
+        );
+    }
+    println!("\nLower is better (normalized to the gate-based ISA baseline).");
+}

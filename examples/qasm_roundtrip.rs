@@ -1,0 +1,65 @@
+//! Interoperability example: parse an OpenQASM 2.0 program, compile it, and
+//! emit the routed, aggregated program back as QASM plus a schedule listing.
+//!
+//! Run with `cargo run --release --example qasm_roundtrip`.
+
+use qcc::compiler::{compile_with_default_model, CompilerOptions, Strategy};
+use qcc::hw::Device;
+use qcc::ir::qasm;
+
+const PROGRAM: &str = r#"
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[4];
+creg c[4];
+h q[0];
+h q[1];
+h q[2];
+h q[3];
+cx q[0],q[1];
+rz(0.85) q[1];
+cx q[0],q[1];
+cx q[2],q[3];
+rz(0.85) q[3];
+cx q[2],q[3];
+cx q[1],q[2];
+rz(0.85) q[2];
+cx q[1],q[2];
+rx(1.1) q[0];
+rx(1.1) q[1];
+rx(1.1) q[2];
+rx(1.1) q[3];
+"#;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let circuit = qasm::parse(PROGRAM)?;
+    println!("Parsed {} gates on {} qubits.", circuit.len(), circuit.n_qubits());
+
+    let device = Device::transmon_line(4);
+    let result = compile_with_default_model(
+        &circuit,
+        &device,
+        &CompilerOptions::strategy(Strategy::ClsAggregation),
+    );
+    println!(
+        "Compiled to {} aggregated instructions, total pulse latency {:.1} ns.\n",
+        result.instructions.len(),
+        result.total_latency_ns
+    );
+
+    println!("Schedule (start ns, duration ns, instruction):");
+    for entry in &result.schedule.entries {
+        let inst = &result.instructions[entry.index];
+        println!("  {:>7.1}  {:>6.1}  {}", entry.start, entry.duration, inst);
+    }
+
+    // Emit the flattened physical program back as QASM.
+    let mut flat = qcc::ir::Circuit::new(device.n_qubits());
+    for inst in &result.instructions {
+        for gate in &inst.constituents {
+            flat.push_instruction(gate.clone());
+        }
+    }
+    println!("\nRouted physical program as OpenQASM:\n{}", qasm::write(&flat));
+    Ok(())
+}

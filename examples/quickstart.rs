@@ -1,0 +1,41 @@
+//! Quick start: compile the paper's worked QAOA example (§3.1 / Fig. 4) with
+//! every strategy and print the latency comparison.
+//!
+//! Run with `cargo run --release --example quickstart`.
+
+use qcc::compiler::{Compiler, CompilerOptions, Strategy};
+use qcc::hw::{CalibratedLatencyModel, Device};
+use qcc::workloads::qaoa;
+
+fn main() {
+    let circuit = qaoa::paper_triangle_example();
+    println!("Input circuit: {} qubits, {} gates", circuit.n_qubits(), circuit.len());
+
+    let device = Device::transmon_line(3);
+    let model = CalibratedLatencyModel::new(device.limits);
+    let compiler = Compiler::new(device, &model);
+
+    let mut baseline = 0.0;
+    println!("\n{:<18} {:>12} {:>10} {:>10}", "strategy", "latency (ns)", "instrs", "speedup");
+    for strategy in Strategy::all() {
+        let result = compiler.compile(&circuit, &CompilerOptions::strategy(strategy));
+        if strategy == Strategy::IsaBaseline {
+            baseline = result.total_latency_ns;
+        }
+        println!(
+            "{:<18} {:>12.1} {:>10} {:>9.2}x",
+            strategy.name(),
+            result.total_latency_ns,
+            result.instructions.len(),
+            baseline / result.total_latency_ns
+        );
+    }
+
+    // Verify that the full flow preserved the circuit semantics.
+    let result = compiler.compile(&circuit, &CompilerOptions::strategy(Strategy::ClsAggregation));
+    let check = qcc::compiler::verify_compilation(&circuit, &result);
+    println!(
+        "\nSemantic verification of CLS+Aggregation: {}",
+        if check.equivalent { "equivalent" } else { "MISMATCH" }
+    );
+}

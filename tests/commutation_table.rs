@@ -1,0 +1,97 @@
+//! Table 2 of the paper: the four commutation-relation families, checked both
+//! structurally and against the exact unitary comparison.
+
+use qcc::ir::{commute, Gate, Instruction};
+
+fn inst(gate: Gate, qubits: &[usize]) -> Instruction {
+    Instruction::new(gate, qubits.to_vec())
+}
+
+#[test]
+fn gates_on_disjoint_qubits_commute() {
+    let pairs = [
+        (inst(Gate::H, &[0]), inst(Gate::Rx(0.4), &[1])),
+        (inst(Gate::Cnot, &[0, 1]), inst(Gate::Cnot, &[2, 3])),
+        (inst(Gate::Swap, &[0, 1]), inst(Gate::Rzz(0.9), &[2, 3])),
+    ];
+    for (a, b) in pairs {
+        assert!(commute::commute_structural(&a, &b));
+        assert!(commute::commute_exact(&a, &b));
+    }
+}
+
+#[test]
+fn z_rotations_commute_with_controls() {
+    let rz = inst(Gate::Rz(1.2), &[0]);
+    let t = inst(Gate::T, &[0]);
+    let cnot = inst(Gate::Cnot, &[0, 1]);
+    let cz = inst(Gate::Cz, &[0, 1]);
+    for z_like in [&rz, &t] {
+        assert!(commute::commute_exact(z_like, &cnot));
+        assert!(commute::commute_exact(z_like, &cz));
+    }
+    // …but not with the CNOT target.
+    let rz_target = inst(Gate::Rz(1.2), &[1]);
+    assert!(!commute::commute_exact(&rz_target, &cnot));
+}
+
+#[test]
+fn diagonal_unitaries_commute_with_each_other() {
+    let diagonals = [
+        inst(Gate::Rzz(0.3), &[0, 1]),
+        inst(Gate::CPhase(1.1), &[1, 2]),
+        inst(Gate::Cz, &[0, 2]),
+        inst(Gate::Rz(0.8), &[1]),
+        inst(Gate::T, &[2]),
+    ];
+    for a in &diagonals {
+        for b in &diagonals {
+            assert!(
+                commute::commute(a, b),
+                "diagonal gates must commute: {a} vs {b}"
+            );
+        }
+    }
+}
+
+#[test]
+fn cnots_with_disjoint_controls_and_shared_target_commute() {
+    let a = inst(Gate::Cnot, &[0, 2]);
+    let b = inst(Gate::Cnot, &[1, 2]);
+    assert!(commute::commute_exact(&a, &b));
+    // Sharing the control also commutes; chaining control→target does not.
+    assert!(commute::commute_exact(
+        &inst(Gate::Cnot, &[0, 1]),
+        &inst(Gate::Cnot, &[0, 2])
+    ));
+    assert!(!commute::commute_exact(
+        &inst(Gate::Cnot, &[0, 1]),
+        &inst(Gate::Cnot, &[1, 2])
+    ));
+}
+
+#[test]
+fn structural_check_is_sound_with_respect_to_exact_check() {
+    // Over a broad set of gate pairs, a structural "commute" verdict is always
+    // confirmed by the exact unitary comparison.
+    let gates = [
+        inst(Gate::H, &[0]),
+        inst(Gate::X, &[1]),
+        inst(Gate::Rz(0.7), &[0]),
+        inst(Gate::Rx(0.7), &[1]),
+        inst(Gate::Cnot, &[0, 1]),
+        inst(Gate::Cnot, &[1, 2]),
+        inst(Gate::Cnot, &[0, 2]),
+        inst(Gate::Cz, &[1, 2]),
+        inst(Gate::Swap, &[0, 2]),
+        inst(Gate::ISwap, &[1, 2]),
+        inst(Gate::Rzz(1.3), &[0, 1]),
+    ];
+    for a in &gates {
+        for b in &gates {
+            if commute::commute_structural(a, b) {
+                assert!(commute::commute_exact(a, b), "false positive: {a} / {b}");
+            }
+        }
+    }
+}

@@ -1,0 +1,60 @@
+//! Fig. 6: the instruction stream evolves through the compilation stages —
+//! flattening, commutativity detection, scheduling/mapping, aggregation — and
+//! each stage both shrinks the schedule and preserves the computation.
+
+use qcc::compiler::{frontend, CompilerOptions, Compiler, InstructionOrigin, Strategy};
+use qcc::hw::{CalibratedLatencyModel, Device};
+use qcc::workloads::qaoa;
+
+#[test]
+fn stage_snapshots_follow_fig6() {
+    let circuit = qaoa::paper_triangle_example();
+    let device = Device::transmon_line(3);
+    let model = CalibratedLatencyModel::new(device.limits);
+    let compiler = Compiler::new(device, &model);
+    let result = compiler.compile(&circuit, &CompilerOptions::strategy(Strategy::ClsAggregation));
+
+    let stage = |name: &str| {
+        result
+            .stages
+            .iter()
+            .find(|s| s.stage == name)
+            .unwrap_or_else(|| panic!("missing stage {name}"))
+    };
+
+    // Fig. 6a → 6b: detection contracts the three CNOT–Rz–CNOT structures, so
+    // the instruction count drops by 2 per block while gates are conserved.
+    let flatten = stage("flatten");
+    let detect = stage("commutativity-detection");
+    assert_eq!(flatten.gates, detect.gates);
+    assert_eq!(flatten.instructions - detect.instructions, 3 * 2);
+
+    // Fig. 6c: routing adds a SWAP for the non-adjacent triangle edge.
+    let route = stage("route");
+    assert!(route.gates > detect.gates);
+
+    // Fig. 6d: aggregation reduces the instruction count further without
+    // losing gates.
+    let agg = stage("aggregation");
+    assert!(agg.instructions < route.instructions);
+    assert_eq!(agg.gates, route.gates);
+}
+
+#[test]
+fn diagonal_blocks_appear_exactly_where_expected() {
+    let circuit = qaoa::paper_triangle_example();
+    let instrs = frontend::run(&circuit);
+    let blocks: Vec<_> = instrs
+        .iter()
+        .filter(|i| i.origin == InstructionOrigin::DiagonalBlock)
+        .collect();
+    assert_eq!(blocks.len(), 3, "one block per triangle edge");
+    for b in &blocks {
+        assert_eq!(b.gate_count(), 3);
+        assert!(b.is_diagonal());
+        assert_eq!(b.width(), 2);
+    }
+    // Blocks on different edges commute — the freedom Fig. 6b illustrates.
+    assert!(blocks[0].commutes_with(blocks[1]));
+    assert!(blocks[1].commutes_with(blocks[2]));
+}
