@@ -8,9 +8,10 @@ use qcc_workloads::{ising, qaoa};
 
 fn bench_frontend(c: &mut Criterion) {
     let circuit = qaoa::maxcut_line(20);
-    c.bench_function("frontend: flatten + diagonal detection (MAXCUT-line-20)", |b| {
-        b.iter(|| frontend::run(&circuit))
-    });
+    c.bench_function(
+        "frontend: flatten + diagonal detection (MAXCUT-line-20)",
+        |b| b.iter(|| frontend::run(&circuit)),
+    );
 }
 
 fn bench_cls(c: &mut Criterion) {
@@ -40,9 +41,10 @@ fn bench_full_pipeline(c: &mut Criterion) {
         strategy: Strategy::ClsAggregation,
         aggregation: AggregationOptions::default(),
     };
-    c.bench_function("pipeline: CLS+Aggregation end-to-end (MAXCUT-line-20)", |b| {
-        b.iter(|| compiler.compile(&circuit, &options))
-    });
+    c.bench_function(
+        "pipeline: CLS+Aggregation end-to-end (MAXCUT-line-20)",
+        |b| b.iter(|| compiler.compile(&circuit, &options)),
+    );
 }
 
 criterion_group!(

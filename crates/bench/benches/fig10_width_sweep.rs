@@ -57,7 +57,10 @@ fn main() {
                 format!("{:.3}", r.total_latency_ns / baseline),
                 format!("{:.1}", band_min),
                 format!("{:.1}", band_max),
-                format!("{}", r.instructions.iter().map(|i| i.width()).max().unwrap_or(0)),
+                format!(
+                    "{}",
+                    r.instructions.iter().map(|i| i.width()).max().unwrap_or(0)
+                ),
             ]);
         }
         println!("\n{name}  (ISA baseline {baseline:.1} ns)");

@@ -46,7 +46,10 @@ fn main() {
     );
 
     // Pulse shapes for the largest aggregated instruction (the paper's G3).
-    let r = compiler.compile(&circuit, &CompilerOptions::strategy(Strategy::ClsAggregation));
+    let r = compiler.compile(
+        &circuit,
+        &CompilerOptions::strategy(Strategy::ClsAggregation),
+    );
     let control = GrapeLatencyModel::fast_two_qubit();
     let largest = r
         .instructions

@@ -82,6 +82,9 @@ fn main() {
     println!("(paper: ~1x for MAXCUT-line, 3.12x for UCCSD-n4, 3.68x for square-root):");
     println!(
         "{}",
-        render_table(&["benchmark", "CLS+Agg speedup / HandOpt speedup"], &encoding_rows)
+        render_table(
+            &["benchmark", "CLS+Agg speedup / HandOpt speedup"],
+            &encoding_rows
+        )
     );
 }

@@ -46,7 +46,10 @@ fn main() {
     let device = Device::transmon_line(3);
     let model = CalibratedLatencyModel::new(device.limits);
     let compiler = Compiler::new(device, &model);
-    let result = compiler.compile(&circuit, &CompilerOptions::strategy(Strategy::ClsAggregation));
+    let result = compiler.compile(
+        &circuit,
+        &CompilerOptions::strategy(Strategy::ClsAggregation),
+    );
     let mut rows = Vec::new();
     for (idx, (inst, lat)) in result
         .instructions
@@ -61,7 +64,9 @@ fn main() {
             format!("{lat:.1}"),
         ]);
     }
-    println!("Aggregated instructions of the QAOA triangle (paper: G1–G5, 54.9/13.7/42.0/31.4/6.1 ns):");
+    println!(
+        "Aggregated instructions of the QAOA triangle (paper: G1–G5, 54.9/13.7/42.0/31.4/6.1 ns):"
+    );
     println!(
         "{}",
         render_table(&["instr", "width", "gates", "pulse time (ns)"], &rows)

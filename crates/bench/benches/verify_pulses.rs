@@ -36,7 +36,11 @@ fn main() {
                 format!("{}", c.width),
                 format!("{:.2}", c.duration_ns),
                 format!("{:.4}", c.fidelity),
-                if c.passed { "pass".into() } else { "FAIL".into() },
+                if c.passed {
+                    "pass".into()
+                } else {
+                    "FAIL".into()
+                },
             ]
         })
         .collect();

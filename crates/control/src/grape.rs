@@ -300,6 +300,9 @@ mod tests {
     }
 
     #[test]
+    // `k` indexes both `grad` and the pulse being bumped; an iterator over one
+    // of them would obscure the pairing.
+    #[allow(clippy::needless_range_loop)]
     fn gradient_matches_finite_differences() {
         let sys = TransmonSystem::new(1, &[], ControlLimits::asplos19());
         let target = pauli::hadamard();

@@ -69,7 +69,11 @@ impl TransmonSystem {
             let xx = pauli::sigma_x().kron(&pauli::sigma_x());
             let yy = pauli::sigma_y().kron(&pauli::sigma_y());
             let coupling = (&xx + &yy).scale_re(0.5).embed(n_qubits, &[a, b]);
-            controls.push((ControlKind::Coupling(a, b), coupling, limits.two_qubit_max_ghz));
+            controls.push((
+                ControlKind::Coupling(a, b),
+                coupling,
+                limits.two_qubit_max_ghz,
+            ));
         }
         Self {
             n_qubits,
@@ -179,7 +183,9 @@ mod tests {
     #[test]
     fn hamiltonian_is_hermitian() {
         let sys = TransmonSystem::fully_coupled(2, ControlLimits::asplos19());
-        let amps: Vec<f64> = (0..sys.n_controls()).map(|k| 0.01 * (k as f64 + 1.0)).collect();
+        let amps: Vec<f64> = (0..sys.n_controls())
+            .map(|k| 0.01 * (k as f64 + 1.0))
+            .collect();
         let h = sys.hamiltonian(&amps);
         assert!(h.is_hermitian(1e-12));
     }

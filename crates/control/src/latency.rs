@@ -86,7 +86,12 @@ impl GrapeLatencyModel {
             let local: Vec<usize> = inst
                 .qubits
                 .iter()
-                .map(|q| support.iter().position(|s| s == q).expect("qubit in support"))
+                .map(|q| {
+                    support
+                        .iter()
+                        .position(|s| s == q)
+                        .expect("qubit in support")
+                })
                 .collect();
             u = inst.gate.matrix().embed(n, &local).matmul(&u);
         }
@@ -102,7 +107,10 @@ impl GrapeLatencyModel {
         }
         let system = TransmonSystem::fully_coupled(support.len(), self.limits);
         let optimizer = GrapeOptimizer::new(self.grape.clone());
-        let guess = self.fallback.aggregate_latency(constituents).max(2.0 * self.grape.dt);
+        let guess = self
+            .fallback
+            .aggregate_latency(constituents)
+            .max(2.0 * self.grape.dt);
         let (t_best, result) =
             optimizer.minimize_time(&system, &target, guess, self.refinement_rounds);
         Some((t_best, result))

@@ -276,9 +276,8 @@ mod tests {
 
     #[test]
     fn width_limit_is_respected() {
-        let instrs: Vec<AggregateInstruction> = (0..5)
-            .map(|i| single(Gate::Cnot, &[i, i + 1]))
-            .collect();
+        let instrs: Vec<AggregateInstruction> =
+            (0..5).map(|i| single(Gate::Cnot, &[i, i + 1])).collect();
         let model = CalibratedLatencyModel::asplos19();
         let options = AggregationOptions::with_width(3);
         let (out, _) = run(&instrs, &model, &options);
@@ -402,9 +401,8 @@ mod tests {
 
     #[test]
     fn max_merges_caps_the_loop() {
-        let instrs: Vec<AggregateInstruction> = (0..6)
-            .map(|_| single(Gate::Cnot, &[0, 1]))
-            .collect();
+        let instrs: Vec<AggregateInstruction> =
+            (0..6).map(|_| single(Gate::Cnot, &[0, 1])).collect();
         let model = CalibratedLatencyModel::asplos19();
         let options = AggregationOptions {
             max_merges: 2,

@@ -62,11 +62,7 @@ impl CommutationGroups {
         shared.iter().all(|q| {
             self.groups
                 .get(q)
-                .map(|qgroups| {
-                    qgroups
-                        .iter()
-                        .any(|g| g.contains(&a) && g.contains(&b))
-                })
+                .map(|qgroups| qgroups.iter().any(|g| g.contains(&a) && g.contains(&b)))
                 .unwrap_or(false)
         })
     }
@@ -135,7 +131,9 @@ pub fn schedule(instrs: &[AggregateInstruction], latencies: &[f64]) -> ClsResult
         if candidates.is_empty() {
             // Should not happen for well-formed inputs, but guarantee progress
             // by force-scheduling the earliest unscheduled instruction.
-            let fallback = (0..n).find(|&i| !scheduled[i]).expect("unscheduled remains");
+            let fallback = (0..n)
+                .find(|&i| !scheduled[i])
+                .expect("unscheduled remains");
             scheduled[fallback] = true;
             order.push(fallback);
             continue;
@@ -155,8 +153,10 @@ pub fn schedule(instrs: &[AggregateInstruction], latencies: &[f64]) -> ClsResult
                     let b = instrs[i].qubits[0].max(instrs[i].qubits[1]);
                     // Keep only the first candidate per edge this round; the
                     // rest will be picked up in later rounds.
-                    if !edge_to_candidate.contains_key(&(a, b)) {
-                        edge_to_candidate.insert((a, b), i);
+                    if let std::collections::hash_map::Entry::Vacant(slot) =
+                        edge_to_candidate.entry((a, b))
+                    {
+                        slot.insert(i);
                         conflict.add_edge(a, b, latencies[i].max(1e-9));
                     }
                 }
@@ -205,10 +205,7 @@ pub fn schedule(instrs: &[AggregateInstruction], latencies: &[f64]) -> ClsResult
 }
 
 /// Applies an order to an instruction list.
-pub fn apply_order(
-    instrs: &[AggregateInstruction],
-    order: &[usize],
-) -> Vec<AggregateInstruction> {
+pub fn apply_order(instrs: &[AggregateInstruction], order: &[usize]) -> Vec<AggregateInstruction> {
     order.iter().map(|&i| instrs[i].clone()).collect()
 }
 
@@ -257,8 +254,7 @@ mod tests {
     fn cls_parallelizes_commuting_chain() {
         // ZZ blocks along a 6-qubit line, emitted in chain order. Without CLS
         // they serialize (5 rounds); with CLS they fit in 2 rounds.
-        let instrs: Vec<AggregateInstruction> =
-            (0..5).map(|i| zz(i, i + 1, 0.4)).collect();
+        let instrs: Vec<AggregateInstruction> = (0..5).map(|i| zz(i, i + 1, 0.4)).collect();
         let lat = vec![30.0; instrs.len()];
         let baseline = asap_schedule(&instrs, &lat).makespan;
         let result = schedule(&instrs, &lat);
@@ -349,7 +345,10 @@ mod tests {
             c.push(Gate::Cnot, &[a, b]);
         }
         let instrs = frontend::run(&c);
-        let lat: Vec<f64> = instrs.iter().map(|i| 10.0 * i.gate_count() as f64).collect();
+        let lat: Vec<f64> = instrs
+            .iter()
+            .map(|i| 10.0 * i.gate_count() as f64)
+            .collect();
         let before = asap_schedule(&instrs, &lat).makespan;
         let result = schedule(&instrs, &lat);
         let reordered = apply_order(&instrs, &result.order);

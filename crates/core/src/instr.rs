@@ -129,7 +129,10 @@ impl AggregateInstruction {
     ///
     /// Panics for instructions wider than 10 qubits.
     pub fn local_unitary(&self) -> CMatrix {
-        assert!(self.width() <= 10, "instruction too wide for a dense unitary");
+        assert!(
+            self.width() <= 10,
+            "instruction too wide for a dense unitary"
+        );
         let n = self.width();
         let dim = 1usize << n;
         let mut u = CMatrix::identity(dim);
@@ -262,7 +265,9 @@ mod tests {
         );
         assert_eq!(block.qubits, vec![2, 5]);
         assert!(block.is_diagonal());
-        assert!(block.local_unitary().approx_eq(&pauli::zz_rotation(0.9), 1e-12));
+        assert!(block
+            .local_unitary()
+            .approx_eq(&pauli::zz_rotation(0.9), 1e-12));
     }
 
     #[test]

@@ -268,7 +268,7 @@ mod tests {
         // final_layout.physical_of(l).
         let probs_expected = expected.probabilities();
         let probs_routed = routed_state.probabilities();
-        for logical_index in 0..16usize {
+        for (logical_index, &p_logical) in probs_expected.iter().enumerate() {
             // Build the physical index corresponding to this logical bit string.
             let mut phys_index = 0usize;
             for l in 0..4 {
@@ -277,7 +277,7 @@ mod tests {
                 phys_index |= bit << (3 - p);
             }
             assert!(
-                (probs_expected[logical_index] - probs_routed[phys_index]).abs() < 1e-9,
+                (p_logical - probs_routed[phys_index]).abs() < 1e-9,
                 "probability mismatch at basis state {logical_index}"
             );
         }

@@ -177,14 +177,18 @@ impl CompilationResult {
 
     /// Number of aggregated (multi-gate) instructions.
     pub fn aggregated_instruction_count(&self) -> usize {
-        self.instructions.iter().filter(|i| i.gate_count() > 1).count()
+        self.instructions
+            .iter()
+            .filter(|i| i.gate_count() > 1)
+            .count()
     }
 
     /// Latency of the largest and of the smallest instruction on the critical
     /// path, as plotted in Fig. 10's shaded band. Returns `None` for an empty
     /// schedule.
     pub fn critical_path_latency_band(&self) -> Option<(f64, f64)> {
-        let slacks = crate::schedule::alap_slacks(&self.instructions, &self.latencies, &self.schedule);
+        let slacks =
+            crate::schedule::alap_slacks(&self.instructions, &self.latencies, &self.schedule);
         let on_path = self.schedule.critical_path(&slacks);
         let latencies: Vec<f64> = on_path.iter().map(|&i| self.latencies[i]).collect();
         if latencies.is_empty() {
@@ -452,7 +456,10 @@ mod tests {
         // model should land in the same territory (comfortably above 1.5×) and
         // the full flow should dominate its components.
         assert!(full > 1.5, "full speedup {full}");
-        assert!(full + 1e-9 >= cls.min(agg), "full {full} vs cls {cls} / agg {agg}");
+        assert!(
+            full + 1e-9 >= cls.min(agg),
+            "full {full} vs cls {cls} / agg {agg}"
+        );
         assert!(cls >= 0.99, "CLS never slows the circuit down: {cls}");
     }
 
@@ -483,7 +490,8 @@ mod tests {
         // With aggregation enabled the commutativity-aware reordering runs on
         // the aggregated instructions ("final-cls"); without it, as "cls".
         assert!(stage_names.contains(&"final-cls"));
-        let cls_only = compiler.compile(&qaoa_triangle(), &CompilerOptions::strategy(Strategy::Cls));
+        let cls_only =
+            compiler.compile(&qaoa_triangle(), &CompilerOptions::strategy(Strategy::Cls));
         assert!(cls_only.stages.iter().any(|s| s.stage == "cls"));
         assert_eq!(r.initial_layout.len(), 3);
         assert_eq!(r.final_layout.len(), 3);

@@ -154,7 +154,11 @@ mod tests {
 
     #[test]
     fn serial_chain_adds_up() {
-        let instrs = vec![gate(Gate::Cnot, &[0, 1]), gate(Gate::Cnot, &[1, 2]), gate(Gate::Cnot, &[2, 3])];
+        let instrs = vec![
+            gate(Gate::Cnot, &[0, 1]),
+            gate(Gate::Cnot, &[1, 2]),
+            gate(Gate::Cnot, &[2, 3]),
+        ];
         let lat = vec![10.0, 20.0, 30.0];
         let s = asap_schedule(&instrs, &lat);
         assert!((s.makespan - 60.0).abs() < 1e-12);

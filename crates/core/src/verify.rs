@@ -164,7 +164,7 @@ pub fn verify_sampled_pulses(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::pipeline::{CompilerOptions, Compiler, Strategy};
+    use crate::pipeline::{Compiler, CompilerOptions, Strategy};
     use qcc_hw::{CalibratedLatencyModel, Device, Topology};
     use qcc_ir::Gate;
 
@@ -237,8 +237,7 @@ mod tests {
             },
         );
         let control = GrapeLatencyModel::fast_two_qubit();
-        let checks =
-            verify_sampled_pulses(&result, &control, ControlLimits::asplos19(), 2, 0.95);
+        let checks = verify_sampled_pulses(&result, &control, ControlLimits::asplos19(), 2, 0.95);
         assert!(!checks.is_empty());
         for check in &checks {
             assert!(

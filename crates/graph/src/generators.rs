@@ -59,10 +59,13 @@ pub fn complete_graph(n: usize) -> Graph {
 ///
 /// Panics if `n * d` is odd or `d >= n`.
 pub fn random_regular_graph<R: Rng + ?Sized>(rng: &mut R, n: usize, d: usize) -> Graph {
-    assert!(n * d % 2 == 0, "n*d must be even for a d-regular graph");
+    assert!(
+        (n * d).is_multiple_of(2),
+        "n*d must be even for a d-regular graph"
+    );
     assert!(d < n, "degree must be below vertex count");
     'attempt: for _ in 0..1000 {
-        let mut stubs: Vec<usize> = (0..n).flat_map(|v| std::iter::repeat(v).take(d)).collect();
+        let mut stubs: Vec<usize> = (0..n).flat_map(|v| std::iter::repeat_n(v, d)).collect();
         stubs.shuffle(rng);
         let mut g = Graph::new(n);
         for pair in stubs.chunks(2) {
@@ -82,7 +85,7 @@ pub fn random_regular_graph<R: Rng + ?Sized>(rng: &mut R, n: usize, d: usize) ->
             g.add_edge(v, (v + k) % n, 1.0);
         }
     }
-    if d % 2 == 1 && n % 2 == 0 {
+    if !d.is_multiple_of(2) && n.is_multiple_of(2) {
         for v in 0..n / 2 {
             g.add_edge(v, v + n / 2, 1.0);
         }
@@ -201,12 +204,10 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(5);
         let g = cluster_graph(&mut rng, 5, 6, 0.8, 6);
         assert_eq!(g.len(), 30);
-        assert!(g.edge_count() > 5 * 5); // at least the connecting paths
+        // At least the connecting paths threaded through each cluster.
+        assert!(g.edge_count() > 5 * 5);
         // Bridges exist: at least one edge between clusters.
-        let has_inter = g
-            .edges()
-            .iter()
-            .any(|(a, b, _)| a / 6 != b / 6);
+        let has_inter = g.edges().iter().any(|(a, b, _)| a / 6 != b / 6);
         assert!(has_inter);
     }
 

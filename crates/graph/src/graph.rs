@@ -86,7 +86,11 @@ impl Graph {
 
     /// Returns the weight of edge `(a, b)` if present.
     pub fn edge_weight(&self, a: usize, b: usize) -> Option<f64> {
-        self.adj.get(a)?.iter().find(|(v, _)| *v == b).map(|(_, w)| *w)
+        self.adj
+            .get(a)?
+            .iter()
+            .find(|(v, _)| *v == b)
+            .map(|(_, w)| *w)
     }
 
     /// `true` when an edge `(a, b)` exists.

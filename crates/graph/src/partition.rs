@@ -240,7 +240,11 @@ mod tests {
         let bis = bisect(&g);
         assert_eq!(bis.left.len() + bis.right.len(), 8);
         assert_eq!(bis.left.len(), 4);
-        assert!((bis.cut_weight - 1.0).abs() < 1e-9, "cut = {}", bis.cut_weight);
+        assert!(
+            (bis.cut_weight - 1.0).abs() < 1e-9,
+            "cut = {}",
+            bis.cut_weight
+        );
         // Each clique ends up wholly on one side.
         let left_set: std::collections::HashSet<_> = bis.left.iter().copied().collect();
         assert!(left_set == [0, 1, 2, 3].into() || left_set == [4, 5, 6, 7].into());
@@ -263,7 +267,9 @@ mod tests {
         let g = two_cliques();
         let order = recursive_bisection_order(&g);
         assert_eq!(order.len(), 8);
-        let pos: Vec<usize> = (0..8).map(|v| order.iter().position(|&x| x == v).unwrap()).collect();
+        let pos: Vec<usize> = (0..8)
+            .map(|v| order.iter().position(|&x| x == v).unwrap())
+            .collect();
         // All of clique {0..3} should occupy positions {0..3} or {4..7}.
         let first_clique_max = pos[0..4].iter().max().unwrap();
         let first_clique_min = pos[0..4].iter().min().unwrap();

@@ -48,10 +48,10 @@ proptest! {
     #[test]
     fn shortest_paths_are_consistent(g in arbitrary_graph()) {
         let d = g.bfs_distances(0);
-        for v in 0..g.len() {
-            if d[v] != usize::MAX {
+        for (v, &dist) in d.iter().enumerate() {
+            if dist != usize::MAX {
                 if let Some(path) = g.shortest_path(0, v) {
-                    prop_assert_eq!(path.len(), d[v] + 1);
+                    prop_assert_eq!(path.len(), dist + 1);
                     prop_assert_eq!(path[0], 0);
                     prop_assert_eq!(*path.last().unwrap(), v);
                     for pair in path.windows(2) {

@@ -156,8 +156,7 @@ impl LatencyModel for CalibratedLatencyModel {
             }
             match inst.qubits.len() {
                 1 => {
-                    *one_q_area.entry(inst.qubits[0]).or_insert(0.0) +=
-                        inst.gate.rotation_angle();
+                    *one_q_area.entry(inst.qubits[0]).or_insert(0.0) += inst.gate.rotation_angle();
                 }
                 _ => {
                     let a = inst.qubits[0].min(inst.qubits[1]);
@@ -224,10 +223,7 @@ impl GateTimeTable {
 
     /// Looks up a row by label.
     pub fn get(&self, label: &str) -> Option<f64> {
-        self.rows
-            .iter()
-            .find(|(l, _)| l == label)
-            .map(|(_, t)| *t)
+        self.rows.iter().find(|(l, _)| l == label).map(|(_, t)| *t)
     }
 }
 

@@ -137,7 +137,8 @@ impl Circuit {
         for q in qubits {
             assert!(*q < self.n_qubits, "qubit {q} out of range");
         }
-        self.instructions.push(Instruction::new(gate, qubits.to_vec()));
+        self.instructions
+            .push(Instruction::new(gate, qubits.to_vec()));
         self
     }
 
@@ -209,11 +210,7 @@ impl Circuit {
         let mut level = vec![0.0f64; self.n_qubits];
         let mut depth = 0.0f64;
         for inst in &self.instructions {
-            let start = inst
-                .qubits
-                .iter()
-                .map(|&q| level[q])
-                .fold(0.0f64, f64::max);
+            let start = inst.qubits.iter().map(|&q| level[q]).fold(0.0f64, f64::max);
             let end = start + cost(inst);
             for &q in &inst.qubits {
                 level[q] = end;
@@ -225,7 +222,10 @@ impl Circuit {
 
     /// Total number of two-qubit instructions.
     pub fn two_qubit_count(&self) -> usize {
-        self.instructions.iter().filter(|i| i.qubits.len() == 2).count()
+        self.instructions
+            .iter()
+            .filter(|i| i.qubits.len() == 2)
+            .count()
     }
 
     /// Histogram of gate names.
@@ -243,7 +243,10 @@ impl Circuit {
         let mut weights: HashMap<(usize, usize), f64> = HashMap::new();
         for inst in &self.instructions {
             if inst.qubits.len() == 2 {
-                let (a, b) = (inst.qubits[0].min(inst.qubits[1]), inst.qubits[0].max(inst.qubits[1]));
+                let (a, b) = (
+                    inst.qubits[0].min(inst.qubits[1]),
+                    inst.qubits[0].max(inst.qubits[1]),
+                );
                 *weights.entry((a, b)).or_insert(0.0) += 1.0;
             }
         }

@@ -73,7 +73,12 @@ pub fn joint_matrices(a: &Instruction, b: &Instruction) -> (CMatrix, CMatrix) {
     let local = |inst: &Instruction| -> Vec<usize> {
         inst.qubits
             .iter()
-            .map(|q| support.iter().position(|s| s == q).expect("qubit in support"))
+            .map(|q| {
+                support
+                    .iter()
+                    .position(|s| s == q)
+                    .expect("qubit in support")
+            })
             .collect()
     };
     let n = support.len();

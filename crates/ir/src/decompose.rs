@@ -131,11 +131,18 @@ pub fn cphase_as_cnots(control: usize, target: usize, theta: f64) -> Vec<Instruc
 ///
 /// Panics if fewer than `controls.len().saturating_sub(2)` ancillas are given
 /// or if qubit sets overlap.
-pub fn multi_controlled_x(controls: &[usize], target: usize, ancillas: &[usize]) -> Vec<Instruction> {
+pub fn multi_controlled_x(
+    controls: &[usize],
+    target: usize,
+    ancillas: &[usize],
+) -> Vec<Instruction> {
     match controls.len() {
         0 => vec![Instruction::new(Gate::X, vec![target])],
         1 => vec![Instruction::new(Gate::Cnot, vec![controls[0], target])],
-        2 => vec![Instruction::new(Gate::Toffoli, vec![controls[0], controls[1], target])],
+        2 => vec![Instruction::new(
+            Gate::Toffoli,
+            vec![controls[0], controls[1], target],
+        )],
         k => {
             assert!(
                 ancillas.len() >= k - 2,
@@ -189,9 +196,7 @@ mod tests {
         c.push(Gate::Toffoli, &[0, 1, 2]);
         let flat = flatten(&c);
         assert!(flat.instructions().iter().all(|i| i.qubits.len() <= 2));
-        assert!(flat
-            .unitary()
-            .approx_eq_up_to_phase(&c.unitary(), 1e-10));
+        assert!(flat.unitary().approx_eq_up_to_phase(&c.unitary(), 1e-10));
         assert_eq!(flat.len(), 15);
     }
 

@@ -304,8 +304,13 @@ impl Gate {
     pub fn is_identity(&self) -> bool {
         match self {
             Gate::I => true,
-            Gate::Rx(t) | Gate::Ry(t) | Gate::Rz(t) | Gate::Phase(t) | Gate::Rzz(t)
-            | Gate::Rxy(t) | Gate::CPhase(t) => *t == 0.0,
+            Gate::Rx(t)
+            | Gate::Ry(t)
+            | Gate::Rz(t)
+            | Gate::Phase(t)
+            | Gate::Rzz(t)
+            | Gate::Rxy(t)
+            | Gate::CPhase(t) => *t == 0.0,
             _ => false,
         }
     }

@@ -32,7 +32,11 @@ pub struct QasmError {
 
 impl fmt::Display for QasmError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "qasm parse error on line {}: {}", self.line, self.message)
+        write!(
+            f,
+            "qasm parse error on line {}: {}",
+            self.line, self.message
+        )
     }
 }
 
@@ -112,8 +116,12 @@ fn parse_reg_decl(stmt: &str, line: usize) -> Result<(String, usize), QasmError>
         .or_else(|| stmt.strip_prefix("QREG"))
         .ok_or_else(|| err(line, "malformed register declaration"))?
         .trim();
-    let open = rest.find('[').ok_or_else(|| err(line, "missing '[' in qreg"))?;
-    let close = rest.find(']').ok_or_else(|| err(line, "missing ']' in qreg"))?;
+    let open = rest
+        .find('[')
+        .ok_or_else(|| err(line, "missing '[' in qreg"))?;
+    let close = rest
+        .find(']')
+        .ok_or_else(|| err(line, "missing ']' in qreg"))?;
     let name = rest[..open].trim().to_string();
     let size: usize = rest[open + 1..close]
         .trim()
@@ -265,7 +273,10 @@ fn parse_operand(
             .map(|(_, s)| *s)
             .unwrap_or(0);
         if idx >= size {
-            return Err(err(line, format!("index {idx} out of range for register '{name}'")));
+            return Err(err(
+                line,
+                format!("index {idx} out of range for register '{name}'"),
+            ));
         }
         Ok(offset + idx)
     } else {

@@ -207,6 +207,8 @@ impl Mul for C64 {
 impl Div for C64 {
     type Output = C64;
     #[inline]
+    // Complex division is multiplication by the reciprocal.
+    #[allow(clippy::suspicious_arithmetic_impl)]
     fn div(self, rhs: C64) -> C64 {
         self * rhs.recip()
     }
@@ -349,7 +351,13 @@ mod tests {
 
     #[test]
     fn sqrt_squares_back() {
-        for &(re, im) in &[(4.0, 0.0), (0.0, 2.0), (-1.0, 0.0), (3.0, -4.0), (-2.0, -5.0)] {
+        for &(re, im) in &[
+            (4.0, 0.0),
+            (0.0, 2.0),
+            (-1.0, 0.0),
+            (3.0, -4.0),
+            (-2.0, -5.0),
+        ] {
             let z = c64(re, im);
             let s = z.sqrt();
             assert!((s * s).approx_eq(z, 1e-10), "sqrt failed for {z}");

@@ -16,7 +16,10 @@ use crate::matrix::CMatrix;
 ///
 /// Panics if the matrices are not square or their dimensions differ.
 pub fn gate_fidelity(a: &CMatrix, b: &CMatrix) -> f64 {
-    assert!(a.is_square() && b.is_square(), "fidelity of non-square matrices");
+    assert!(
+        a.is_square() && b.is_square(),
+        "fidelity of non-square matrices"
+    );
     assert_eq!(a.rows(), b.rows(), "dimension mismatch");
     let d = a.rows() as f64;
     let overlap: C64 = a.hs_inner(b);

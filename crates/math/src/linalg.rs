@@ -126,7 +126,7 @@ impl LuDecomposition {
                 let sub = self.lu[(i, j)] * y[j];
                 y[i] -= sub;
             }
-            y[i] = y[i] / self.lu[(i, i)];
+            y[i] /= self.lu[(i, i)];
         }
         Ok(y)
     }
@@ -261,13 +261,19 @@ mod tests {
         let s = CMatrix::from_real(2, 2, &[1.0, 2.0, 2.0, 4.0]);
         let d = det(&s).unwrap();
         assert!(d.abs() < 1e-10);
-        assert_eq!(solve(&s, &[C64::one(), C64::one()]), Err(LinalgError::Singular));
+        assert_eq!(
+            solve(&s, &[C64::one(), C64::one()]),
+            Err(LinalgError::Singular)
+        );
     }
 
     #[test]
     fn non_square_rejected() {
         let a = CMatrix::zeros(2, 3);
-        assert!(matches!(LuDecomposition::new(&a), Err(LinalgError::NotSquare)));
+        assert!(matches!(
+            LuDecomposition::new(&a),
+            Err(LinalgError::NotSquare)
+        ));
     }
 
     #[test]
@@ -286,6 +292,9 @@ mod tests {
     fn dimension_mismatch_detected() {
         let a = test_matrix();
         let lu = LuDecomposition::new(&a).unwrap();
-        assert_eq!(lu.solve_vec(&[C64::one(); 2]), Err(LinalgError::DimensionMismatch));
+        assert_eq!(
+            lu.solve_vec(&[C64::one(); 2]),
+            Err(LinalgError::DimensionMismatch)
+        );
     }
 }

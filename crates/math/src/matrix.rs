@@ -245,13 +245,13 @@ impl CMatrix {
     pub fn matvec(&self, v: &[C64]) -> Vec<C64> {
         assert_eq!(v.len(), self.cols, "matvec dimension mismatch");
         let mut out = vec![C64::zero(); self.rows];
-        for i in 0..self.rows {
+        for (i, slot) in out.iter_mut().enumerate() {
             let row = self.row(i);
             let mut acc = C64::zero();
             for (a, b) in row.iter().zip(v.iter()) {
                 acc += *a * *b;
             }
-            out[i] = acc;
+            *slot = acc;
         }
         out
     }
@@ -569,10 +569,7 @@ mod tests {
     use crate::complex::c64;
 
     fn pauli_x() -> CMatrix {
-        CMatrix::from_rows(&[
-            &[C64::zero(), C64::one()],
-            &[C64::one(), C64::zero()],
-        ])
+        CMatrix::from_rows(&[&[C64::zero(), C64::one()], &[C64::one(), C64::zero()]])
     }
 
     fn pauli_z() -> CMatrix {

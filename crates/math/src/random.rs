@@ -40,7 +40,9 @@ pub fn random_unitary<R: Rng + ?Sized>(rng: &mut R, n: usize) -> CMatrix {
 /// dependent to working precision.
 fn gram_schmidt(a: &CMatrix) -> Option<CMatrix> {
     let n = a.rows();
-    let mut cols: Vec<Vec<C64>> = (0..n).map(|j| (0..n).map(|i| a[(i, j)]).collect()).collect();
+    let mut cols: Vec<Vec<C64>> = (0..n)
+        .map(|j| (0..n).map(|i| a[(i, j)]).collect())
+        .collect();
     for j in 0..n {
         for k in 0..j {
             // proj = <q_k, v_j>

@@ -96,7 +96,8 @@ mod tests {
     #[test]
     fn constant_x_drive_produces_rotation() {
         // Driving σx/2 with amplitude Ω for time t rotates by θ = 2π·Ω·t.
-        let h = PiecewiseHamiltonian::new(CMatrix::zeros(2, 2), vec![pauli::sigma_x().scale_re(0.5)]);
+        let h =
+            PiecewiseHamiltonian::new(CMatrix::zeros(2, 2), vec![pauli::sigma_x().scale_re(0.5)]);
         let omega = 0.1; // GHz
         let t_total = 2.5; // ns -> θ = 2π·0.25 = π/2
         let steps = 50;

@@ -62,7 +62,10 @@ impl StateVector {
     /// Panics if the length is not a power of two or the vector has zero norm.
     pub fn from_amplitudes(amplitudes: Vec<C64>) -> Self {
         let len = amplitudes.len();
-        assert!(len.is_power_of_two(), "amplitude count must be a power of two");
+        assert!(
+            len.is_power_of_two(),
+            "amplitude count must be a power of two"
+        );
         let n_qubits = len.trailing_zeros() as usize;
         let norm: f64 = amplitudes.iter().map(|a| a.norm_sqr()).sum::<f64>().sqrt();
         assert!(norm > 1e-300, "cannot normalize the zero vector");
@@ -140,7 +143,7 @@ impl StateVector {
                 continue;
             }
             // Gather the 2^k amplitudes of this block.
-            for sub in 0..(1usize << k) {
+            for (sub, slot) in scratch.iter_mut().enumerate().take(1usize << k) {
                 let mut idx = base;
                 for (pos, &b) in bits.iter().enumerate() {
                     // `pos` indexes the gate's qubit order: targets[0] is the
@@ -149,7 +152,7 @@ impl StateVector {
                         idx |= 1 << b;
                     }
                 }
-                scratch[sub] = self.amplitudes[idx];
+                *slot = self.amplitudes[idx];
                 visited[idx] = true;
             }
             // Apply the matrix.

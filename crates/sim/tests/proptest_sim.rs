@@ -6,40 +6,38 @@ use qcc_ir::{Circuit, Gate};
 use qcc_sim::StateVector;
 
 fn arb_circuit(n: usize, max_len: usize) -> impl Strategy<Value = Circuit> {
-    prop::collection::vec((0usize..7, 0..n, 0..n, -3.0f64..3.0), 1..max_len).prop_map(
-        move |spec| {
-            let mut c = Circuit::new(n);
-            for (kind, a, b, theta) in spec {
-                match kind {
-                    0 => {
-                        c.push(Gate::H, &[a]);
-                    }
-                    1 => {
-                        c.push(Gate::Rz(theta), &[a]);
-                    }
-                    2 => {
-                        c.push(Gate::Rx(theta), &[a]);
-                    }
-                    3 if a != b => {
-                        c.push(Gate::Cnot, &[a, b]);
-                    }
-                    4 if a != b => {
-                        c.push(Gate::Rzz(theta), &[a, b]);
-                    }
-                    5 if a != b => {
-                        c.push(Gate::ISwap, &[a, b]);
-                    }
-                    6 if a != b => {
-                        c.push(Gate::Swap, &[a, b]);
-                    }
-                    _ => {
-                        c.push(Gate::T, &[a]);
-                    }
+    prop::collection::vec((0usize..7, 0..n, 0..n, -3.0f64..3.0), 1..max_len).prop_map(move |spec| {
+        let mut c = Circuit::new(n);
+        for (kind, a, b, theta) in spec {
+            match kind {
+                0 => {
+                    c.push(Gate::H, &[a]);
+                }
+                1 => {
+                    c.push(Gate::Rz(theta), &[a]);
+                }
+                2 => {
+                    c.push(Gate::Rx(theta), &[a]);
+                }
+                3 if a != b => {
+                    c.push(Gate::Cnot, &[a, b]);
+                }
+                4 if a != b => {
+                    c.push(Gate::Rzz(theta), &[a, b]);
+                }
+                5 if a != b => {
+                    c.push(Gate::ISwap, &[a, b]);
+                }
+                6 if a != b => {
+                    c.push(Gate::Swap, &[a, b]);
+                }
+                _ => {
+                    c.push(Gate::T, &[a]);
                 }
             }
-            c
-        },
-    )
+        }
+        c
+    })
 }
 
 proptest! {

@@ -109,12 +109,7 @@ pub fn squarer_circuit(layout: &SquarerLayout) -> Circuit {
 /// Appends a phase flip (Z) on the all-controls-true condition that
 /// `acc == constant`, by X-ing the zero bits, applying a multi-controlled Z and
 /// undoing the X's.
-pub fn append_compare_and_flip(
-    circuit: &mut Circuit,
-    acc: &[usize],
-    constant: u64,
-    anc: &[usize],
-) {
+pub fn append_compare_and_flip(circuit: &mut Circuit, acc: &[usize], constant: u64, anc: &[usize]) {
     let len = acc.len();
     // X the bits where the constant has a 0 so the all-ones pattern encodes
     // equality.

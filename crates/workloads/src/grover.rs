@@ -132,7 +132,11 @@ mod tests {
         let c4 = square_root_benchmark(4);
         assert!(c3.n_qubits() < c4.n_qubits());
         assert!(c3.len() < c4.len());
-        assert!(c3.len() > 500, "square-root circuits are deep: {}", c3.len());
+        assert!(
+            c3.len() > 500,
+            "square-root circuits are deep: {}",
+            c3.len()
+        );
         // Everything is flattened to the virtual ISA.
         assert!(c3.instructions().iter().all(|i| i.qubits.len() <= 2));
     }

@@ -38,7 +38,7 @@ pub enum Excitation {
 }
 
 fn z_chain(n: usize, from: usize, to: usize) -> Vec<(usize, PauliOp)> {
-    ((from + 1)..to).map(|q| (q, PauliOp::Z)).collect::<Vec<_>>().into_iter().filter(|(q, _)| *q < n).collect()
+    ((from + 1)..to.min(n)).map(|q| (q, PauliOp::Z)).collect()
 }
 
 /// Jordan–Wigner Pauli strings of one excitation (with their angles).
@@ -56,23 +56,41 @@ pub fn excitation_strings(n_orbitals: usize, exc: &Excitation) -> Vec<PauliRotat
                 PauliRotation::new(PauliString::new(n_orbitals, &s2), -theta),
             ]
         }
-        Excitation::Double {
-            i,
-            j,
-            a,
-            b,
-            theta,
-        } => {
+        Excitation::Double { i, j, a, b, theta } => {
             // The eight standard strings of a JW-transformed double excitation.
-            let patterns: [( [PauliOp; 4], f64); 8] = [
-                ([PauliOp::X, PauliOp::X, PauliOp::X, PauliOp::Y], theta / 4.0),
-                ([PauliOp::X, PauliOp::X, PauliOp::Y, PauliOp::X], theta / 4.0),
-                ([PauliOp::X, PauliOp::Y, PauliOp::X, PauliOp::X], -theta / 4.0),
-                ([PauliOp::Y, PauliOp::X, PauliOp::X, PauliOp::X], -theta / 4.0),
-                ([PauliOp::Y, PauliOp::Y, PauliOp::Y, PauliOp::X], -theta / 4.0),
-                ([PauliOp::Y, PauliOp::Y, PauliOp::X, PauliOp::Y], -theta / 4.0),
-                ([PauliOp::Y, PauliOp::X, PauliOp::Y, PauliOp::Y], theta / 4.0),
-                ([PauliOp::X, PauliOp::Y, PauliOp::Y, PauliOp::Y], theta / 4.0),
+            let patterns: [([PauliOp; 4], f64); 8] = [
+                (
+                    [PauliOp::X, PauliOp::X, PauliOp::X, PauliOp::Y],
+                    theta / 4.0,
+                ),
+                (
+                    [PauliOp::X, PauliOp::X, PauliOp::Y, PauliOp::X],
+                    theta / 4.0,
+                ),
+                (
+                    [PauliOp::X, PauliOp::Y, PauliOp::X, PauliOp::X],
+                    -theta / 4.0,
+                ),
+                (
+                    [PauliOp::Y, PauliOp::X, PauliOp::X, PauliOp::X],
+                    -theta / 4.0,
+                ),
+                (
+                    [PauliOp::Y, PauliOp::Y, PauliOp::Y, PauliOp::X],
+                    -theta / 4.0,
+                ),
+                (
+                    [PauliOp::Y, PauliOp::Y, PauliOp::X, PauliOp::Y],
+                    -theta / 4.0,
+                ),
+                (
+                    [PauliOp::Y, PauliOp::X, PauliOp::Y, PauliOp::Y],
+                    theta / 4.0,
+                ),
+                (
+                    [PauliOp::X, PauliOp::Y, PauliOp::Y, PauliOp::Y],
+                    theta / 4.0,
+                ),
             ];
             let orbitals = [i, j, a, b];
             patterns
@@ -152,7 +170,14 @@ mod tests {
 
     #[test]
     fn single_excitation_produces_two_strings() {
-        let strings = excitation_strings(4, &Excitation::Single { i: 0, a: 2, theta: 0.3 });
+        let strings = excitation_strings(
+            4,
+            &Excitation::Single {
+                i: 0,
+                a: 2,
+                theta: 0.3,
+            },
+        );
         assert_eq!(strings.len(), 2);
         for r in &strings {
             assert_eq!(r.string.weight(), 3); // X/Y on 0 and 2 plus Z on 1

@@ -2,14 +2,19 @@
 //! report normalized latencies plus aggregation statistics — a small-scale
 //! version of the Fig. 9 experiment suited to a laptop.
 //!
-//! Run with `cargo run --release --example benchmark_sweep`.
+//! Run with `cargo run --release --example benchmark_sweep`. Defaults to the
+//! reduced-size suite; set `QCC_BENCH_SCALE=full` for the paper's full sizes.
 
 use qcc::compiler::{AggregationOptions, Compiler, CompilerOptions, Strategy};
 use qcc::hw::{CalibratedLatencyModel, Device};
 use qcc::workloads::{standard_suite, SuiteScale};
 
 fn main() {
-    let suite = standard_suite(SuiteScale::Reduced, 7);
+    let scale = match std::env::var("QCC_BENCH_SCALE") {
+        Ok(v) if v.trim().eq_ignore_ascii_case("full") => SuiteScale::Full,
+        _ => SuiteScale::Reduced,
+    };
+    let suite = standard_suite(scale, 7);
     println!(
         "{:<16} {:>7} {:>7} {:>8} {:>8} {:>8} {:>8}",
         "benchmark", "qubits", "gates", "ISA(ns)", "CLS", "CLS+Agg", "swaps"
@@ -18,8 +23,10 @@ fn main() {
         let device = Device::transmon_grid(bench.circuit.n_qubits());
         let model = CalibratedLatencyModel::new(device.limits);
         let compiler = Compiler::new(device, &model);
-        let isa = compiler
-            .compile(&bench.circuit, &CompilerOptions::strategy(Strategy::IsaBaseline));
+        let isa = compiler.compile(
+            &bench.circuit,
+            &CompilerOptions::strategy(Strategy::IsaBaseline),
+        );
         let cls = compiler.compile(&bench.circuit, &CompilerOptions::strategy(Strategy::Cls));
         let full = compiler.compile(
             &bench.circuit,

@@ -25,7 +25,10 @@ fn main() {
             verification.fidelity, verification.passed
         );
         if name == "iSWAP" {
-            println!("\nPulse program for the iSWAP (CSV):\n{}", result.pulse.to_csv());
+            println!(
+                "\nPulse program for the iSWAP (CSV):\n{}",
+                result.pulse.to_csv()
+            );
         }
     }
 }

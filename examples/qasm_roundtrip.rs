@@ -33,7 +33,11 @@ rx(1.1) q[3];
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let circuit = qasm::parse(PROGRAM)?;
-    println!("Parsed {} gates on {} qubits.", circuit.len(), circuit.n_qubits());
+    println!(
+        "Parsed {} gates on {} qubits.",
+        circuit.len(),
+        circuit.n_qubits()
+    );
 
     let device = Device::transmon_line(4);
     let result = compile_with_default_model(
@@ -60,6 +64,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             flat.push_instruction(gate.clone());
         }
     }
-    println!("\nRouted physical program as OpenQASM:\n{}", qasm::write(&flat));
+    println!(
+        "\nRouted physical program as OpenQASM:\n{}",
+        qasm::write(&flat)
+    );
     Ok(())
 }

@@ -9,14 +9,21 @@ use qcc::workloads::qaoa;
 
 fn main() {
     let circuit = qaoa::paper_triangle_example();
-    println!("Input circuit: {} qubits, {} gates", circuit.n_qubits(), circuit.len());
+    println!(
+        "Input circuit: {} qubits, {} gates",
+        circuit.n_qubits(),
+        circuit.len()
+    );
 
     let device = Device::transmon_line(3);
     let model = CalibratedLatencyModel::new(device.limits);
     let compiler = Compiler::new(device, &model);
 
     let mut baseline = 0.0;
-    println!("\n{:<18} {:>12} {:>10} {:>10}", "strategy", "latency (ns)", "instrs", "speedup");
+    println!(
+        "\n{:<18} {:>12} {:>10} {:>10}",
+        "strategy", "latency (ns)", "instrs", "speedup"
+    );
     for strategy in Strategy::all() {
         let result = compiler.compile(&circuit, &CompilerOptions::strategy(strategy));
         if strategy == Strategy::IsaBaseline {
@@ -32,10 +39,17 @@ fn main() {
     }
 
     // Verify that the full flow preserved the circuit semantics.
-    let result = compiler.compile(&circuit, &CompilerOptions::strategy(Strategy::ClsAggregation));
+    let result = compiler.compile(
+        &circuit,
+        &CompilerOptions::strategy(Strategy::ClsAggregation),
+    );
     let check = qcc::compiler::verify_compilation(&circuit, &result);
     println!(
         "\nSemantic verification of CLS+Aggregation: {}",
-        if check.equivalent { "equivalent" } else { "MISMATCH" }
+        if check.equivalent {
+            "equivalent"
+        } else {
+            "MISMATCH"
+        }
     );
 }

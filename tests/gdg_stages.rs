@@ -2,7 +2,7 @@
 //! flattening, commutativity detection, scheduling/mapping, aggregation — and
 //! each stage both shrinks the schedule and preserves the computation.
 
-use qcc::compiler::{frontend, CompilerOptions, Compiler, InstructionOrigin, Strategy};
+use qcc::compiler::{frontend, Compiler, CompilerOptions, InstructionOrigin, Strategy};
 use qcc::hw::{CalibratedLatencyModel, Device};
 use qcc::workloads::qaoa;
 
@@ -12,7 +12,10 @@ fn stage_snapshots_follow_fig6() {
     let device = Device::transmon_line(3);
     let model = CalibratedLatencyModel::new(device.limits);
     let compiler = Compiler::new(device, &model);
-    let result = compiler.compile(&circuit, &CompilerOptions::strategy(Strategy::ClsAggregation));
+    let result = compiler.compile(
+        &circuit,
+        &CompilerOptions::strategy(Strategy::ClsAggregation),
+    );
 
     let stage = |name: &str| {
         result

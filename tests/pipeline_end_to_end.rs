@@ -1,9 +1,7 @@
 //! Cross-crate integration tests: the full pipeline on the paper's worked
 //! example and on small instances of every benchmark family.
 
-use qcc::compiler::{
-    verify_compilation, AggregationOptions, Compiler, CompilerOptions, Strategy,
-};
+use qcc::compiler::{verify_compilation, AggregationOptions, Compiler, CompilerOptions, Strategy};
 use qcc::hw::{CalibratedLatencyModel, Device};
 use qcc::workloads::{ising, qaoa, qft, uccsd};
 
@@ -32,7 +30,10 @@ fn qaoa_triangle_matches_paper_shape() {
         .compile(&circuit, &CompilerOptions::strategy(Strategy::IsaBaseline))
         .total_latency_ns;
     let agg = compiler
-        .compile(&circuit, &CompilerOptions::strategy(Strategy::ClsAggregation))
+        .compile(
+            &circuit,
+            &CompilerOptions::strategy(Strategy::ClsAggregation),
+        )
         .total_latency_ns;
     assert!(isa > 200.0 && isa < 800.0, "ISA latency {isa} ns");
     assert!(agg < isa / 2.0, "aggregated {agg} vs ISA {isa}");
@@ -96,12 +97,18 @@ fn commutative_workloads_benefit_from_cls_serial_ones_do_not() {
     let maxcut = qaoa::maxcut_line(10);
     let isa = compile(&maxcut, Strategy::IsaBaseline).total_latency_ns;
     let cls = compile(&maxcut, Strategy::Cls).total_latency_ns;
-    assert!(cls < 0.8 * isa, "CLS gained too little on MAXCUT: {cls} vs {isa}");
+    assert!(
+        cls < 0.8 * isa,
+        "CLS gained too little on MAXCUT: {cls} vs {isa}"
+    );
 
     let uccsd = uccsd::uccsd_benchmark(4);
     let isa_u = compile(&uccsd, Strategy::IsaBaseline).total_latency_ns;
     let cls_u = compile(&uccsd, Strategy::Cls).total_latency_ns;
-    assert!(cls_u > 0.9 * isa_u, "CLS should barely help UCCSD: {cls_u} vs {isa_u}");
+    assert!(
+        cls_u > 0.9 * isa_u,
+        "CLS should barely help UCCSD: {cls_u} vs {isa_u}"
+    );
 }
 
 #[test]
@@ -125,8 +132,14 @@ fn wider_instruction_limits_help_serial_circuits() {
     };
     let w2 = lat(2);
     let w4 = lat(4);
-    assert!(w4 <= w2 + 1e-6, "width 4 ({w4}) should not be slower than width 2 ({w2})");
-    assert!(w4 < 0.95 * w2, "a serial circuit should keep gaining with width: {w4} vs {w2}");
+    assert!(
+        w4 <= w2 + 1e-6,
+        "width 4 ({w4}) should not be slower than width 2 ({w2})"
+    );
+    assert!(
+        w4 < 0.95 * w2,
+        "a serial circuit should keep gaining with width: {w4} vs {w2}"
+    );
 }
 
 #[test]
@@ -142,7 +155,10 @@ fn swap_heavy_circuits_gain_more_from_aggregation() {
             .compile(&circuit, &CompilerOptions::strategy(Strategy::Cls))
             .total_latency_ns;
         let agg = compiler
-            .compile(&circuit, &CompilerOptions::strategy(Strategy::ClsAggregation))
+            .compile(
+                &circuit,
+                &CompilerOptions::strategy(Strategy::ClsAggregation),
+            )
             .total_latency_ns;
         agg / cls
     };

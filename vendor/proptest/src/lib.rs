@@ -1,0 +1,482 @@
+//! Vendored mini property-testing harness.
+//!
+//! The build environment is offline, so this crate reimplements the subset of
+//! the `proptest` API the workspace's test-suites use: the [`Strategy`] trait
+//! with `prop_map` / `prop_filter_map`, range and tuple strategies,
+//! `prop::collection::vec`, `prop_oneof!`, `ProptestConfig::with_cases`, and
+//! the `proptest!` / `prop_assert*` macros. Test cases are driven by a
+//! deterministic seeded RNG, so failures are reproducible run-to-run; there is
+//! no shrinking — a failing case reports its case index and the assertion
+//! message instead.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+#[doc(hidden)]
+pub mod __rt {
+    pub use rand::rngs::StdRng;
+    pub use rand::SeedableRng;
+
+    /// Fixed base seed; each test function offsets it by a hash of its name so
+    /// sibling tests explore different streams.
+    pub fn rng_for(test_name: &str) -> StdRng {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        StdRng::seed_from_u64(h)
+    }
+}
+
+/// Error produced by a failing `prop_assert*` inside a test case.
+#[derive(Debug, Clone)]
+pub struct TestCaseError(pub String);
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl TestCaseError {
+    /// Builds a failure with the given message.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        Self(msg.into())
+    }
+}
+
+/// Result type of one generated test case.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// Per-`proptest!`-block configuration.
+///
+/// Rejection sampling in `prop_filter` / `prop_filter_map` uses a fixed
+/// 65 536-retry budget; it is not configurable here.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per test.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 256 }
+    }
+}
+
+impl ProptestConfig {
+    /// Configuration running `cases` random cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+/// A generator of random values of type `Self::Value`.
+///
+/// Unlike real proptest there is no value tree / shrinking; a strategy is just
+/// a samplable distribution.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Maps generated values through `f`, rejecting (and resampling) when it
+    /// returns `None`. `whence` labels the rejection in the panic message if
+    /// the retry budget is exhausted.
+    fn prop_filter_map<O, F>(self, whence: &'static str, f: F) -> FilterMap<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> Option<O>,
+    {
+        FilterMap {
+            inner: self,
+            whence,
+            f,
+        }
+    }
+
+    /// Keeps only values for which `f` returns `true`.
+    fn prop_filter<F>(self, whence: &'static str, f: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter {
+            inner: self,
+            whence,
+            f,
+        }
+    }
+
+    /// Type-erases the strategy (needed by `prop_oneof!`).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Box::new(self))
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn sample(&self, rng: &mut StdRng) -> Self::Value {
+        (**self).sample(rng)
+    }
+}
+
+/// A boxed, type-erased strategy.
+pub struct BoxedStrategy<T>(Box<dyn Strategy<Value = T>>);
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut StdRng) -> T {
+        self.0.sample(rng)
+    }
+}
+
+/// Strategy adapter produced by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+    fn sample(&self, rng: &mut StdRng) -> O {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+/// Strategy adapter produced by [`Strategy::prop_filter_map`].
+pub struct FilterMap<S, F> {
+    inner: S,
+    whence: &'static str,
+    f: F,
+}
+
+impl<S, O, F> Strategy for FilterMap<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> Option<O>,
+{
+    type Value = O;
+    fn sample(&self, rng: &mut StdRng) -> O {
+        for _ in 0..65_536 {
+            if let Some(v) = (self.f)(self.inner.sample(rng)) {
+                return v;
+            }
+        }
+        panic!("prop_filter_map retry budget exhausted: {}", self.whence);
+    }
+}
+
+/// Strategy adapter produced by [`Strategy::prop_filter`].
+pub struct Filter<S, F> {
+    inner: S,
+    whence: &'static str,
+    f: F,
+}
+
+impl<S, F> Strategy for Filter<S, F>
+where
+    S: Strategy,
+    F: Fn(&S::Value) -> bool,
+{
+    type Value = S::Value;
+    fn sample(&self, rng: &mut StdRng) -> S::Value {
+        for _ in 0..65_536 {
+            let v = self.inner.sample(rng);
+            if (self.f)(&v) {
+                return v;
+            }
+        }
+        panic!("prop_filter retry budget exhausted: {}", self.whence);
+    }
+}
+
+/// Strategy that always yields a clone of one value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn sample(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Uniform choice between boxed alternatives (backs `prop_oneof!`).
+pub struct Union<T> {
+    options: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Union<T> {
+    /// Builds a union over non-empty `options`.
+    pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+        Self { options }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut StdRng) -> T {
+        let idx = rng.gen_range(0..self.options.len());
+        self.options[idx].sample(rng)
+    }
+}
+
+macro_rules! range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+macro_rules! tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn sample(&self, rng: &mut StdRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.sample(rng),)+)
+            }
+        }
+    };
+}
+
+tuple_strategy!(A);
+tuple_strategy!(A, B);
+tuple_strategy!(A, B, C);
+tuple_strategy!(A, B, C, D);
+tuple_strategy!(A, B, C, D, E);
+tuple_strategy!(A, B, C, D, E, F);
+
+/// Strategies over standard collections (`prop::collection`).
+pub mod collection {
+    use super::{StdRng, Strategy};
+    use rand::Rng;
+
+    /// Strategy for `Vec`s with element strategy `S` and length in `len`.
+    pub struct VecStrategy<S> {
+        element: S,
+        len: std::ops::Range<usize>,
+    }
+
+    /// Generates `Vec`s whose length is drawn uniformly from `len`.
+    pub fn vec<S: Strategy>(element: S, len: std::ops::Range<usize>) -> VecStrategy<S> {
+        assert!(
+            len.start < len.end,
+            "empty length range for collection::vec"
+        );
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut StdRng) -> Self::Value {
+            let n = rng.gen_range(self.len.clone());
+            (0..n).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// Namespace mirror of `proptest::prop` (so `prop::collection::vec` works).
+pub mod prop {
+    pub use crate::collection;
+}
+
+/// The glob-importable prelude, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::{
+        prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, BoxedStrategy,
+        Just, ProptestConfig, Strategy, TestCaseError, TestCaseResult,
+    };
+}
+
+/// Asserts a condition inside a `proptest!` test case.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        // `if cond {} else {}` (as in std's `assert!`) rather than `if !cond`,
+        // so float comparisons don't trip `clippy::neg_cmp_op_on_partial_ord`
+        // at every call site.
+        if $cond {
+        } else {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed at {}:{}: {}",
+                file!(), line!(), stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if $cond {
+        } else {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed at {}:{}: {}",
+                file!(), line!(), format!($($fmt)+)
+            )));
+        }
+    };
+}
+
+/// Asserts equality inside a `proptest!` test case.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = $left;
+        let right = $right;
+        if left != right {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed at {}:{}: `{}` == `{}` (left: {:?}, right: {:?})",
+                file!(),
+                line!(),
+                stringify!($left),
+                stringify!($right),
+                left,
+                right
+            )));
+        }
+    }};
+}
+
+/// Asserts inequality inside a `proptest!` test case.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = $left;
+        let right = $right;
+        if left == right {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed at {}:{}: `{}` != `{}` (both: {:?})",
+                file!(),
+                line!(),
+                stringify!($left),
+                stringify!($right),
+                left
+            )));
+        }
+    }};
+}
+
+/// Uniform choice among strategies with a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::Strategy::boxed($strategy)),+])
+    };
+}
+
+/// Declares property tests. Mirrors `proptest::proptest!` for the syntax
+/// subset used in this workspace: an optional
+/// `#![proptest_config(...)]` header followed by `#[test]` functions whose
+/// arguments are `name in strategy` bindings.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_body! { ($config); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_body! { ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_body {
+    (($config:expr); $( $(#[$meta:meta])* fn $name:ident( $($arg:ident in $strategy:expr),* $(,)? ) $body:block )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $config;
+                let mut rng = $crate::__rt::rng_for(concat!(module_path!(), "::", stringify!($name)));
+                // Bind each strategy once, then shadow the binding with the
+                // sampled value inside the per-case scope.
+                $(let $arg = $strategy;)*
+                for case in 0..config.cases {
+                    let result: $crate::TestCaseResult = (|| {
+                        $(let $arg = $crate::Strategy::sample(&$arg, &mut rng);)*
+                        $body
+                        ::core::result::Result::Ok(())
+                    })();
+                    if let ::core::result::Result::Err(err) = result {
+                        panic!(
+                            "proptest `{}` failed on case {}/{}: {}",
+                            stringify!($name), case + 1, config.cases, err
+                        );
+                    }
+                }
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn halves() -> impl Strategy<Value = f64> {
+        (0.0f64..10.0).prop_map(|x| x / 2.0)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 3usize..9, y in -1.0f64..1.0) {
+            prop_assert!((3..9).contains(&x));
+            prop_assert!((-1.0..1.0).contains(&y));
+        }
+
+        #[test]
+        fn map_and_filter_compose(x in halves(), pair in (0usize..4, 0usize..4)
+            .prop_filter_map("distinct", |(a, b)| if a == b { None } else { Some((a, b)) }))
+        {
+            prop_assert!(x < 5.0);
+            prop_assert_ne!(pair.0, pair.1);
+        }
+
+        #[test]
+        fn oneof_and_vec(v in prop::collection::vec(prop_oneof![0usize..3, 10usize..13], 1..6)) {
+            prop_assert!(!v.is_empty() && v.len() < 6);
+            prop_assert!(v.iter().all(|&x| x < 3 || (10..13).contains(&x)));
+        }
+
+        #[test]
+        fn early_return_is_allowed(x in 0usize..2) {
+            if x == 0 {
+                return Ok(());
+            }
+            prop_assert_eq!(x, 1);
+        }
+    }
+}

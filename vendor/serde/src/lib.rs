@@ -1,0 +1,16 @@
+//! Vendored stand-in for `serde`.
+//!
+//! The build environment is offline, so this crate provides just the surface
+//! the workspace uses: the `Serialize`/`Deserialize` marker traits and their
+//! derives. No code in the workspace serializes through serde yet; the derives
+//! keep annotated types source-compatible with the real crate so it can be
+//! swapped in when a registry is available.
+
+/// Marker trait mirroring `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait mirroring `serde::Deserialize` (lifetime elided: nothing in
+/// the workspace names the `'de` parameter).
+pub trait Deserialize {}
+
+pub use serde_derive::{Deserialize, Serialize};

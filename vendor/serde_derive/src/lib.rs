@@ -1,0 +1,98 @@
+//! Vendored stand-in for `serde_derive`.
+//!
+//! The build environment has no network access to crates.io, so the workspace
+//! vendors the minimal surface it uses. No type in this workspace relies on a
+//! `Serialize`/`Deserialize` *bound* — the derives exist so annotated types
+//! keep their public serde-ready shape — so the derives expand to marker-trait
+//! impls and nothing more.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Extracts the type name (the identifier following `struct`/`enum`) and any
+/// generic parameter names so the emitted impl matches the item's generics.
+fn type_header(input: &TokenStream) -> Option<(String, Vec<String>)> {
+    let mut tokens = input.clone().into_iter().peekable();
+    while let Some(tt) = tokens.next() {
+        if let TokenTree::Ident(id) = &tt {
+            let kw = id.to_string();
+            if kw == "struct" || kw == "enum" {
+                if let Some(TokenTree::Ident(name)) = tokens.next() {
+                    let mut generics = Vec::new();
+                    if let Some(TokenTree::Punct(p)) = tokens.peek() {
+                        if p.as_char() == '<' {
+                            tokens.next();
+                            let mut depth = 1usize;
+                            let mut expect_param = true;
+                            for tt in tokens.by_ref() {
+                                match tt {
+                                    TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                                    TokenTree::Punct(p) if p.as_char() == '>' => {
+                                        depth -= 1;
+                                        if depth == 0 {
+                                            break;
+                                        }
+                                    }
+                                    // Lifetime (`'a`), const (`const N:
+                                    // usize`), and bounded (`T: Clone`)
+                                    // parameters would need to be reproduced
+                                    // verbatim in the impl header; this simple
+                                    // parser can't, so emit no impl at all —
+                                    // the traits are only markers, nothing
+                                    // bounds on them.
+                                    TokenTree::Punct(p)
+                                        if (p.as_char() == '\'' || p.as_char() == ':')
+                                            && depth == 1 =>
+                                    {
+                                        return None;
+                                    }
+                                    TokenTree::Ident(g)
+                                        if depth == 1
+                                            && expect_param
+                                            && g.to_string() == "const" =>
+                                    {
+                                        return None;
+                                    }
+                                    TokenTree::Punct(p) if p.as_char() == ',' && depth == 1 => {
+                                        expect_param = true;
+                                    }
+                                    TokenTree::Ident(g) if depth == 1 && expect_param => {
+                                        generics.push(g.to_string());
+                                        expect_param = false;
+                                    }
+                                    _ => {}
+                                }
+                            }
+                        }
+                    }
+                    return Some((name.to_string(), generics));
+                }
+            }
+        }
+    }
+    None
+}
+
+fn marker_impl(input: TokenStream, trait_path: &str) -> TokenStream {
+    let Some((name, generics)) = type_header(&input) else {
+        return TokenStream::new();
+    };
+    let impl_src = if generics.is_empty() {
+        format!("impl {trait_path} for {name} {{}}")
+    } else {
+        let params = generics.join(", ");
+        format!("impl<{params}> {trait_path} for {name}<{params}> {{}}")
+    };
+    impl_src.parse().unwrap_or_default()
+}
+
+/// No-op `Serialize` derive: emits a marker-trait impl.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    marker_impl(input, "::serde::Serialize")
+}
+
+/// No-op `Deserialize` derive: emits a marker-trait impl.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    marker_impl(input, "::serde::Deserialize")
+}
