@@ -1,10 +1,16 @@
 //! Criterion micro-benchmarks of the compiler passes themselves (wall-clock
 //! cost of the implementation, not simulated pulse latency).
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use qcc_core::{cls, frontend, mapping, AggregationOptions, Compiler, CompilerOptions, Strategy};
-use qcc_hw::{CalibratedLatencyModel, Device};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use qcc_control::GrapeLatencyModel;
+use qcc_core::{
+    cls, frontend, mapping, AggregateInstruction, AggregationOptions, Compiler, CompilerOptions,
+    Strategy,
+};
+use qcc_hw::{CalibratedLatencyModel, Device, LatencyModel};
+use qcc_ir::Instruction;
 use qcc_workloads::{ising, qaoa};
+use threadpool::ThreadPool;
 
 fn bench_frontend(c: &mut Criterion) {
     let circuit = qaoa::maxcut_line(20);
@@ -36,7 +42,7 @@ fn bench_full_pipeline(c: &mut Criterion) {
     let circuit = qaoa::maxcut_line(20);
     let device = Device::transmon_grid(20);
     let model = CalibratedLatencyModel::new(device.limits);
-    let compiler = Compiler::new(device, &model);
+    let compiler = Compiler::new(&device, &model);
     let options = CompilerOptions {
         strategy: Strategy::ClsAggregation,
         aggregation: AggregationOptions::default(),
@@ -47,9 +53,110 @@ fn bench_full_pipeline(c: &mut Criterion) {
     );
 }
 
+/// Comparison point for the sharded cache: a single global mutex held across
+/// every pricing call, which is what pricing through one `Mutex<HashMap>`
+/// cache degrades to under concurrency (the old design either serialized on
+/// the lock or, when it released it mid-solve, duplicated the solves — both
+/// forfeit the parallelism).
+struct SingleMutexModel<'a> {
+    inner: &'a GrapeLatencyModel,
+    lock: std::sync::Mutex<()>,
+}
+
+impl LatencyModel for SingleMutexModel<'_> {
+    fn isa_gate_latency(&self, inst: &Instruction) -> f64 {
+        self.inner.isa_gate_latency(inst)
+    }
+
+    fn aggregate_latency(&self, constituents: &[Instruction]) -> f64 {
+        let _serialized = self.lock.lock().unwrap();
+        self.inner.aggregate_latency(constituents)
+    }
+
+    fn name(&self) -> &'static str {
+        "grape-xy-single-mutex"
+    }
+}
+
+fn bench_parallel_pricing(c: &mut Criterion) {
+    // A ≥16-instruction aggregated program whose pricing goes through the real
+    // GRAPE unit: MAXCUT on a 12-qubit line, aggregated at width 2 so every
+    // instruction fits the fast two-qubit control profile.
+    let circuit = qaoa::maxcut_line(12);
+    let device = Device::transmon_line(12);
+    let model = CalibratedLatencyModel::new(device.limits);
+    let compiler = Compiler::new(&device, &model);
+    let program: Vec<AggregateInstruction> = compiler
+        .compile(
+            &circuit,
+            &CompilerOptions {
+                strategy: Strategy::ClsAggregation,
+                aggregation: AggregationOptions::with_width(2),
+            },
+        )
+        .instructions;
+    assert!(
+        program.len() >= 16,
+        "pricing bench needs a ≥16-instruction program, got {}",
+        program.len()
+    );
+    let threads = threadpool::default_parallelism().max(4);
+
+    // Reference: fully serial pricing on the calling thread — the effective
+    // behavior of the pre-parallel compiler.
+    c.bench_function(
+        &format!("pricing: {} instrs, serial (1 thread)", program.len()),
+        |b| {
+            b.iter(|| {
+                let grape = GrapeLatencyModel::fast_two_qubit();
+                let pool = ThreadPool::serial();
+                black_box(pool.parallel_map(&program, |i| grape.aggregate_latency(&i.constituents)))
+            })
+        },
+    );
+
+    // Baseline: multi-threaded fan-out, but every pricing call serialized
+    // behind one global mutex.
+    c.bench_function(
+        &format!(
+            "pricing: {} instrs, single-mutex baseline ({threads} threads)",
+            program.len()
+        ),
+        |b| {
+            b.iter(|| {
+                let grape = GrapeLatencyModel::fast_two_qubit();
+                let serialized = SingleMutexModel {
+                    inner: &grape,
+                    lock: std::sync::Mutex::new(()),
+                };
+                let pool = ThreadPool::new(threads);
+                black_box(
+                    pool.parallel_map(&program, |i| serialized.aggregate_latency(&i.constituents)),
+                )
+            })
+        },
+    );
+
+    // Sharded compute-once cache, same thread count: threads only contend
+    // when keys hash to the same shard, so independent solves overlap.
+    c.bench_function(
+        &format!(
+            "pricing: {} instrs, sharded cache ({threads} threads)",
+            program.len()
+        ),
+        |b| {
+            b.iter(|| {
+                let grape = GrapeLatencyModel::fast_two_qubit();
+                let pool = ThreadPool::new(threads);
+                black_box(pool.parallel_map(&program, |i| grape.aggregate_latency(&i.constituents)))
+            })
+        },
+    );
+}
+
 criterion_group!(
     name = passes;
     config = Criterion::default().sample_size(10);
-    targets = bench_frontend, bench_cls, bench_mapping, bench_full_pipeline
+    targets = bench_frontend, bench_cls, bench_mapping, bench_full_pipeline, bench_parallel_pricing
 );
 criterion_main!(passes);

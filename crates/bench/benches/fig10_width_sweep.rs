@@ -36,7 +36,7 @@ fn main() {
         };
         let device = Device::transmon_grid(bench.circuit.n_qubits());
         let model = CalibratedLatencyModel::new(device.limits);
-        let compiler = Compiler::new(device, &model);
+        let compiler = Compiler::new(&device, &model);
         let baseline = compiler
             .compile(
                 &bench.circuit,

@@ -17,7 +17,7 @@ fn main() {
     let circuit = qaoa::paper_triangle_example();
     let device = Device::transmon_line(3);
     let model = CalibratedLatencyModel::new(device.limits);
-    let compiler = Compiler::new(device.clone(), &model);
+    let compiler = Compiler::new(&device, &model);
 
     let mut rows = Vec::new();
     let mut baseline = 0.0;

@@ -18,7 +18,7 @@ fn main() {
     let circuit = qaoa::maxcut_line(6);
     let device = Device::transmon_line(6);
     let model = CalibratedLatencyModel::new(device.limits);
-    let compiler = Compiler::new(device, &model);
+    let compiler = Compiler::new(&device, &model);
     let result = compiler.compile(
         &circuit,
         &CompilerOptions {

@@ -29,7 +29,7 @@ pub fn scale_from_env() -> SuiteScale {
 pub fn latency_for(circuit: &Circuit, strategy: Strategy, width: usize) -> f64 {
     let device = Device::transmon_grid(circuit.n_qubits());
     let model = CalibratedLatencyModel::new(device.limits);
-    let compiler = Compiler::new(device, &model);
+    let compiler = Compiler::new(&device, &model);
     let options = CompilerOptions {
         strategy,
         aggregation: AggregationOptions::with_width(width),

@@ -15,6 +15,51 @@ use qcc_hw::{CalibratedLatencyModel, ControlLimits, LatencyModel};
 use qcc_ir::Instruction;
 use qcc_math::{gate_fidelity, CMatrix};
 use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock};
+
+/// Number of independently locked shards in the latency cache. Concurrent
+/// pricing threads only contend when their keys hash to the same shard, so a
+/// modest power of two comfortably covers the pool sizes we run.
+const CACHE_SHARDS: usize = 16;
+
+/// A sharded, compute-once latency cache.
+///
+/// Each key hashes (with the deterministic [`std::hash::DefaultHasher`]) to
+/// one of [`CACHE_SHARDS`] shards, each guarded by its own `parking_lot`
+/// mutex. The shard map stores one [`OnceLock`] slot per key: the shard lock
+/// is only held long enough to fetch-or-insert the slot, and the expensive
+/// GRAPE solve runs inside `OnceLock::get_or_init` *outside* any shard lock.
+/// Concurrent callers of the same key block on the slot — not the shard — so
+/// every key is solved exactly once and other keys keep flowing.
+struct ShardedLatencyCache {
+    shards: Vec<Mutex<HashMap<String, Arc<OnceLock<f64>>>>>,
+}
+
+impl ShardedLatencyCache {
+    fn new() -> Self {
+        Self {
+            shards: (0..CACHE_SHARDS)
+                .map(|_| Mutex::new(HashMap::new()))
+                .collect(),
+        }
+    }
+
+    /// Fetches the compute-once slot for `key`, inserting an empty one if the
+    /// key is new (occupied entries take the fast path: one lock, one clone).
+    fn slot(&self, key: String) -> Arc<OnceLock<f64>> {
+        let mut hasher = std::hash::DefaultHasher::new();
+        key.hash(&mut hasher);
+        let shard = &self.shards[hasher.finish() as usize % CACHE_SHARDS];
+        shard.lock().entry(key).or_default().clone()
+    }
+
+    /// Number of cached keys across all shards (including in-flight solves).
+    fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().len()).sum()
+    }
+}
 
 /// Latency model that runs the GRAPE optimal-control unit for small
 /// instructions and falls back to the calibrated analytic model for larger
@@ -27,7 +72,9 @@ pub struct GrapeLatencyModel {
     max_qubits: usize,
     /// Bisection rounds in the minimal-time search.
     refinement_rounds: usize,
-    cache: Mutex<HashMap<String, f64>>,
+    cache: ShardedLatencyCache,
+    /// Number of pricing computations actually performed (cache misses).
+    solves: AtomicUsize,
 }
 
 impl std::fmt::Debug for GrapeLatencyModel {
@@ -48,7 +95,8 @@ impl GrapeLatencyModel {
             grape,
             max_qubits,
             refinement_rounds: 3,
-            cache: Mutex::new(HashMap::new()),
+            cache: ShardedLatencyCache::new(),
+            solves: AtomicUsize::new(0),
         }
     }
 
@@ -58,13 +106,32 @@ impl GrapeLatencyModel {
         Self::new(ControlLimits::asplos19(), GrapeConfig::fast(), 2)
     }
 
+    /// Cache key of an instruction list. Gate order is preserved: constituent
+    /// gates do not commute in general, so `[X(0); H(0)]` and `[H(0); X(0)]`
+    /// are different target unitaries and must price independently. Gates are
+    /// rendered with `Debug` (round-trip f64 precision), not the 4-decimal
+    /// `Display`, so nearby rotation angles never share a key.
     fn cache_key(constituents: &[Instruction]) -> String {
-        let mut parts: Vec<String> = constituents
+        let parts: Vec<String> = constituents
             .iter()
-            .map(|i| format!("{}:{:?}", i.gate, i.qubits))
+            .map(|i| format!("{:?}:{:?}", i.gate, i.qubits))
             .collect();
-        parts.sort();
         parts.join(";")
+    }
+
+    /// Number of distinct instruction keys in the cache. Keys whose first
+    /// solve is still in flight are counted (the compute-once slot is
+    /// inserted before the solve completes), so during a concurrent compile
+    /// this may transiently exceed [`solve_count`](Self::solve_count).
+    pub fn cached_entries(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// Number of pricing computations performed (cache misses). Under
+    /// concurrent pricing this equals the number of distinct keys seen — each
+    /// key is solved exactly once.
+    pub fn solve_count(&self) -> usize {
+        self.solves.load(Ordering::Relaxed)
     }
 
     /// Builds the target unitary of an instruction list on its (sorted) local
@@ -123,16 +190,19 @@ impl LatencyModel for GrapeLatencyModel {
     }
 
     fn aggregate_latency(&self, constituents: &[Instruction]) -> f64 {
-        let key = Self::cache_key(constituents);
-        if let Some(&t) = self.cache.lock().get(&key) {
-            return t;
-        }
-        let t = match self.optimize_instruction(constituents) {
-            Some((t_best, result)) if result.converged => t_best,
-            _ => self.fallback.aggregate_latency(constituents),
-        };
-        self.cache.lock().insert(key, t);
-        t
+        let slot = self.cache.slot(Self::cache_key(constituents));
+        *slot.get_or_init(|| {
+            self.solves.fetch_add(1, Ordering::Relaxed);
+            match self.optimize_instruction(constituents) {
+                Some((t_best, result)) if result.converged => t_best,
+                _ => self.fallback.aggregate_latency(constituents),
+            }
+        })
+    }
+
+    /// GRAPE solves take milliseconds each — always worth fanning out.
+    fn parallel_pricing(&self) -> bool {
+        true
     }
 
     fn name(&self) -> &'static str {
@@ -223,6 +293,87 @@ mod tests {
         let cnot = inst(Gate::Cnot, &[0, 1]);
         assert!((model.isa_gate_latency(&cnot) - calib.isa_gate_latency(&cnot)).abs() < 1e-12);
         assert_eq!(model.name(), "grape-xy");
+    }
+
+    #[test]
+    fn cache_key_preserves_gate_order() {
+        // X·H ≠ H·X: the two orders are different target unitaries and must
+        // not collide in the cache (the old key sorted constituents).
+        let xh = [inst(Gate::X, &[0]), inst(Gate::H, &[0])];
+        let hx = [inst(Gate::H, &[0]), inst(Gate::X, &[0])];
+        assert_ne!(
+            GrapeLatencyModel::cache_key(&xh),
+            GrapeLatencyModel::cache_key(&hx)
+        );
+        let (u_xh, _) = GrapeLatencyModel::target_unitary(&xh);
+        let (u_hx, _) = GrapeLatencyModel::target_unitary(&hx);
+        assert!(!u_xh.approx_eq_up_to_phase(&u_hx, 1e-9));
+
+        // Rotation angles closer than the 4-decimal Display precision must
+        // also key separately (Debug formatting round-trips the f64).
+        assert_ne!(
+            GrapeLatencyModel::cache_key(&[inst(Gate::Rz(0.40001), &[0])]),
+            GrapeLatencyModel::cache_key(&[inst(Gate::Rz(0.40004), &[0])])
+        );
+
+        let model = GrapeLatencyModel::fast_two_qubit();
+        let t_xh = model.aggregate_latency(&xh);
+        let t_hx = model.aggregate_latency(&hx);
+        assert_eq!(model.cached_entries(), 2, "orders must price independently");
+        assert_eq!(model.solve_count(), 2);
+        assert!(t_xh > 0.0 && t_hx > 0.0);
+        // Re-querying either order hits its own cached entry.
+        assert_eq!(t_xh, model.aggregate_latency(&xh));
+        assert_eq!(t_hx, model.aggregate_latency(&hx));
+        assert_eq!(model.solve_count(), 2);
+    }
+
+    #[test]
+    fn concurrent_pricing_is_compute_once_and_deterministic() {
+        // Hammer one model from 8 threads over a shared workload: the priced
+        // latencies must be bit-identical to a single-threaded run, and every
+        // distinct key must be solved exactly once despite the contention.
+        let workload: Vec<Vec<Instruction>> = vec![
+            vec![inst(Gate::X, &[0])],
+            vec![inst(Gate::H, &[1])],
+            vec![inst(Gate::X, &[0]), inst(Gate::H, &[0])],
+            vec![inst(Gate::H, &[0]), inst(Gate::X, &[0])],
+            vec![inst(Gate::Rz(0.4), &[2])],
+            // Duplicate of the first key: must not trigger a second solve.
+            vec![inst(Gate::X, &[0])],
+        ];
+        let reference = GrapeLatencyModel::fast_two_qubit();
+        let expected: Vec<f64> = workload
+            .iter()
+            .map(|c| reference.aggregate_latency(c))
+            .collect();
+        let unique_keys = 5;
+        assert_eq!(reference.solve_count(), unique_keys);
+
+        let model = GrapeLatencyModel::fast_two_qubit();
+        let runs: Vec<Vec<f64>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..8)
+                .map(|_| {
+                    scope.spawn(|| {
+                        workload
+                            .iter()
+                            .map(|c| model.aggregate_latency(c))
+                            .collect::<Vec<f64>>()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("pricing thread panicked"))
+                .collect()
+        });
+        for run in &runs {
+            for (got, want) in run.iter().zip(expected.iter()) {
+                assert_eq!(got.to_bits(), want.to_bits(), "{got} != {want}");
+            }
+        }
+        assert_eq!(model.solve_count(), unique_keys, "duplicated GRAPE solves");
+        assert_eq!(model.cached_entries(), unique_keys);
     }
 
     #[test]

@@ -13,6 +13,7 @@ use crate::instr::{AggregateInstruction, InstructionOrigin};
 use crate::schedule::{alap_slacks, asap_schedule};
 use qcc_hw::LatencyModel;
 use serde::{Deserialize, Serialize};
+use threadpool::ThreadPool;
 
 /// Options of the aggregation pass.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -87,14 +88,25 @@ pub fn run(
     model: &dyn LatencyModel,
     options: &AggregationOptions,
 ) -> (Vec<AggregateInstruction>, AggregationStats) {
+    run_with_pool(instrs, model, options, &ThreadPool::serial())
+}
+
+/// [`run`] with an explicit thread pool: the initial latency vectoring (one
+/// independent model query per routed instruction) fans out over the pool.
+/// The merge loop itself stays sequential — each action depends on the
+/// schedule produced by the previous one.
+pub fn run_with_pool(
+    instrs: &[AggregateInstruction],
+    model: &dyn LatencyModel,
+    options: &AggregationOptions,
+    pool: &ThreadPool,
+) -> (Vec<AggregateInstruction>, AggregationStats) {
     let mut current: Vec<AggregateInstruction> = instrs.to_vec();
     // Latencies are maintained incrementally: only the instruction produced by
     // a merge is re-priced, so the model is queried O(instructions + merges)
     // times rather than O(instructions · merges).
-    let mut latencies: Vec<f64> = current
-        .iter()
-        .map(|i| model.aggregate_latency(&i.constituents))
-        .collect();
+    let mut latencies: Vec<f64> =
+        pool.parallel_map(&current, |i| model.aggregate_latency(&i.constituents));
     let mut schedule = asap_schedule(&current, &latencies);
     let mut slacks = alap_slacks(&current, &latencies, &schedule);
     let mut stats = AggregationStats {

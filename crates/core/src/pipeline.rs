@@ -24,6 +24,7 @@ use qcc_hw::{CalibratedLatencyModel, Device, LatencyModel};
 use qcc_ir::Circuit;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
+use threadpool::ThreadPool;
 
 /// Compilation strategy, matching the bars of Fig. 9.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -200,21 +201,42 @@ impl CompilationResult {
     }
 }
 
-/// The compiler: a device plus a latency model.
+/// The compiler: a device, a latency model, and a thread pool for the
+/// embarrassingly-parallel pricing loops.
+///
+/// Both the device and the model are borrowed — compiling never clones the
+/// device, so one `Device` can back any number of compilers (and one compiler
+/// any number of concurrent `compile` calls: `Compiler` is `Sync`, and the
+/// latency models are internally synchronized).
 pub struct Compiler<'a> {
-    device: Device,
+    device: &'a Device,
     model: &'a dyn LatencyModel,
+    pool: ThreadPool,
 }
 
 impl<'a> Compiler<'a> {
     /// Creates a compiler for a device using the given latency model.
-    pub fn new(device: Device, model: &'a dyn LatencyModel) -> Self {
-        Self { device, model }
+    ///
+    /// Pricing parallelism defaults to the machine's available parallelism,
+    /// overridable with the `QCC_THREADS` environment variable; use
+    /// [`with_threads`](Self::with_threads) for an explicit count.
+    pub fn new(device: &'a Device, model: &'a dyn LatencyModel) -> Self {
+        Self {
+            device,
+            model,
+            pool: ThreadPool::with_default_parallelism(),
+        }
+    }
+
+    /// Sets the number of threads used for parallel pricing (1 = serial).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.pool = ThreadPool::new(threads);
+        self
     }
 
     /// The device the compiler targets.
     pub fn device(&self) -> &Device {
-        &self.device
+        self.device
     }
 
     /// Compiles `circuit` with the given options.
@@ -224,6 +246,14 @@ impl<'a> Compiler<'a> {
     /// Panics if the circuit needs more qubits than the device provides.
     pub fn compile(&self, circuit: &Circuit, options: &CompilerOptions) -> CompilationResult {
         let strategy = options.strategy;
+        // Fan per-instruction pricing out over the pool only when the model
+        // says a single query is expensive (GRAPE solves); for cheap analytic
+        // models the scoped thread spawns would cost more than the loop.
+        let pricing_pool = if self.model.parallel_pricing() {
+            self.pool
+        } else {
+            ThreadPool::serial()
+        };
         let mut stages = Vec::new();
         let snapshot = |stage: &str, instrs: &[AggregateInstruction]| StageSnapshot {
             stage: stage.to_string(),
@@ -281,8 +311,10 @@ impl<'a> Compiler<'a> {
 
         // ---- Aggregation.
         let mut agg_stats = AggregationStats::default();
+        let mut priced: Option<Vec<f64>> = None;
         if strategy.uses_aggregation() {
-            let (aggregated, stats) = aggregate::run(&instrs, self.model, &options.aggregation);
+            let (aggregated, stats) =
+                aggregate::run_with_pool(&instrs, self.model, &options.aggregation, &pricing_pool);
             instrs = aggregated;
             aggregate::finalize_origins(&mut instrs);
             agg_stats = stats;
@@ -290,27 +322,28 @@ impl<'a> Compiler<'a> {
             // Re-run CLS on the aggregated instructions for the final schedule,
             // as the paper does before emitting pulses (§3.4.2).
             if strategy.uses_cls() {
-                let lat: Vec<f64> = instrs
-                    .iter()
-                    .map(|i| self.model.aggregate_latency(&i.constituents))
-                    .collect();
+                let lat = pricing_pool
+                    .parallel_map(&instrs, |i| self.model.aggregate_latency(&i.constituents));
                 let result = cls::schedule(&instrs, &lat);
                 instrs = cls::apply_order(&instrs, &result.order);
+                // apply_order only permutes instructions; permute their prices
+                // alongside instead of re-querying the model below.
+                priced = Some(result.order.iter().map(|&i| lat[i]).collect());
                 stages.push(snapshot("final-cls", &instrs));
             }
         }
 
-        // ---- Final pricing and schedule.
-        let latencies: Vec<f64> = instrs
-            .iter()
-            .map(|inst| {
-                if strategy.pulse_per_instruction() {
+        // ---- Final pricing and schedule. Pulse-per-instruction pricing fans
+        // out over the pool (unless final-cls already priced everything); the
+        // gate-based pre-pricing path is cheap arithmetic and stays serial.
+        let latencies = match priced {
+            Some(lat) => lat,
+            None if strategy.pulse_per_instruction() => pricing_pool
+                .parallel_map(&instrs, |inst| {
                     self.model.aggregate_latency(&inst.constituents)
-                } else {
-                    pre_price(inst)
-                }
-            })
-            .collect();
+                }),
+            None => instrs.iter().map(&pre_price).collect(),
+        };
         let schedule = asap_schedule(&instrs, &latencies);
         let total_latency_ns = schedule.makespan;
 
@@ -331,19 +364,33 @@ impl<'a> Compiler<'a> {
     /// Compiles the circuit under every strategy and returns the results keyed
     /// by strategy, plus the speedup of each strategy relative to the ISA
     /// baseline (the normalized latencies of Fig. 9).
+    ///
+    /// The five strategies are independent, so they compile concurrently on
+    /// the compiler's thread pool; the results are returned in
+    /// [`Strategy::all`] order either way, and the latencies are identical to
+    /// compiling each strategy serially (the models are deterministic and the
+    /// shared latency cache is compute-once per key).
     pub fn compare_strategies(
         &self,
         circuit: &Circuit,
         aggregation: AggregationOptions,
     ) -> StrategyComparison {
-        let mut results = Vec::new();
-        for strategy in Strategy::all() {
+        let strategies = Strategy::all();
+        // Split the thread budget between the outer strategy fan-out and the
+        // pricing loops inside each compile, so the nesting never spawns more
+        // than ~pool-size threads in total.
+        let inner = Compiler {
+            device: self.device,
+            model: self.model,
+            pool: ThreadPool::new((self.pool.threads() / strategies.len()).max(1)),
+        };
+        let results = self.pool.parallel_map(&strategies, |&strategy| {
             let options = CompilerOptions {
                 strategy,
                 aggregation,
             };
-            results.push(self.compile(circuit, &options));
-        }
+            inner.compile(circuit, &options)
+        });
         StrategyComparison { results }
     }
 }
@@ -385,14 +432,15 @@ impl StrategyComparison {
 }
 
 /// Compiles with the default calibrated latency model — the common entry point
-/// for examples and benchmarks.
+/// for examples and benchmarks. The device is borrowed end-to-end; nothing is
+/// cloned per call.
 pub fn compile_with_default_model(
     circuit: &Circuit,
     device: &Device,
     options: &CompilerOptions,
 ) -> CompilationResult {
     let model = CalibratedLatencyModel::new(device.limits);
-    Compiler::new(device.clone(), &model).compile(circuit, options)
+    Compiler::new(device, &model).compile(circuit, options)
 }
 
 #[cfg(test)]
@@ -428,7 +476,8 @@ mod tests {
     #[test]
     fn all_strategies_compile_the_qaoa_example() {
         let model = CalibratedLatencyModel::asplos19();
-        let compiler = Compiler::new(line_device(), &model);
+        let device = line_device();
+        let compiler = Compiler::new(&device, &model);
         let comparison =
             compiler.compare_strategies(&qaoa_triangle(), AggregationOptions::default());
         for strategy in Strategy::all() {
@@ -446,7 +495,8 @@ mod tests {
     #[test]
     fn aggregated_compilation_beats_the_baseline_on_qaoa() {
         let model = CalibratedLatencyModel::asplos19();
-        let compiler = Compiler::new(line_device(), &model);
+        let device = line_device();
+        let compiler = Compiler::new(&device, &model);
         let comparison =
             compiler.compare_strategies(&qaoa_triangle(), AggregationOptions::default());
         let full = comparison.speedup(Strategy::ClsAggregation);
@@ -477,7 +527,8 @@ mod tests {
     #[test]
     fn compilation_reports_stages_and_layouts() {
         let model = CalibratedLatencyModel::asplos19();
-        let compiler = Compiler::new(line_device(), &model);
+        let device = line_device();
+        let compiler = Compiler::new(&device, &model);
         let r = compiler.compile(
             &qaoa_triangle(),
             &CompilerOptions::strategy(Strategy::ClsAggregation),
@@ -503,7 +554,8 @@ mod tests {
     #[test]
     fn schedule_is_consistent_with_reported_latency() {
         let model = CalibratedLatencyModel::asplos19();
-        let compiler = Compiler::new(line_device(), &model);
+        let device = line_device();
+        let compiler = Compiler::new(&device, &model);
         for strategy in Strategy::all() {
             let r = compiler.compile(&qaoa_triangle(), &CompilerOptions::strategy(strategy));
             let recomputed = asap_schedule(&r.instructions, &r.latencies).makespan;
@@ -516,7 +568,8 @@ mod tests {
     #[test]
     fn width_limit_one_effectively_disables_multi_qubit_merges() {
         let model = CalibratedLatencyModel::asplos19();
-        let compiler = Compiler::new(line_device(), &model);
+        let device = line_device();
+        let compiler = Compiler::new(&device, &model);
         let narrow = compiler.compile(&qaoa_triangle(), &CompilerOptions::with_width(2));
         let wide = compiler.compile(&qaoa_triangle(), &CompilerOptions::with_width(10));
         assert!(wide.total_latency_ns <= narrow.total_latency_ns + 1e-9);

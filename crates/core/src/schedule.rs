@@ -58,9 +58,10 @@ impl Schedule {
         on_path
     }
 
-    /// Number of distinct "time steps" (instructions that start exactly when
-    /// another finishes are counted sequentially); useful for depth-style
-    /// reporting.
+    /// Average parallelism of the schedule: total busy time (the sum of every
+    /// instruction's duration) divided by the makespan. A fully serial
+    /// schedule scores 1.0; a schedule where `k` instructions overlap at all
+    /// times scores `k`. Returns 0.0 for an empty schedule.
     pub fn parallelism(&self) -> f64 {
         if self.makespan <= 0.0 {
             return 0.0;
@@ -191,6 +192,26 @@ mod tests {
         assert!(slacks[1] > 20.0);
         let cp = s.critical_path(&slacks);
         assert_eq!(cp, vec![0, 2]);
+    }
+
+    #[test]
+    fn parallelism_is_busy_time_over_makespan() {
+        // Two 10 ns instructions in parallel followed by one serial 20 ns
+        // instruction spanning both qubits: busy = 40 ns over a 30 ns
+        // makespan, i.e. average parallelism 4/3 — NOT a count of distinct
+        // time steps (which would be 2).
+        let instrs = vec![
+            gate(Gate::H, &[0]),
+            gate(Gate::H, &[1]),
+            gate(Gate::Cnot, &[0, 1]),
+        ];
+        let s = asap_schedule(&instrs, &[10.0, 10.0, 20.0]);
+        assert!((s.makespan - 30.0).abs() < 1e-12);
+        assert!((s.parallelism() - 40.0 / 30.0).abs() < 1e-12);
+        // A fully serial chain scores exactly 1.0.
+        let serial = vec![gate(Gate::H, &[0]), gate(Gate::X, &[0])];
+        let s = asap_schedule(&serial, &[5.0, 15.0]);
+        assert!((s.parallelism() - 1.0).abs() < 1e-12);
     }
 
     #[test]

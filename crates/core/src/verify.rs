@@ -189,7 +189,7 @@ mod tests {
         let circuit = small_qaoa();
         let device = Device::transmon(Topology::Linear(3));
         let model = CalibratedLatencyModel::asplos19();
-        let compiler = Compiler::new(device, &model);
+        let compiler = Compiler::new(&device, &model);
         for strategy in Strategy::all() {
             let result = compiler.compile(&circuit, &CompilerOptions::strategy(strategy));
             let check = verify_compilation(&circuit, &result);
@@ -206,7 +206,7 @@ mod tests {
         let circuit = small_qaoa();
         let device = Device::transmon(Topology::Linear(3));
         let model = CalibratedLatencyModel::asplos19();
-        let compiler = Compiler::new(device, &model);
+        let compiler = Compiler::new(&device, &model);
         let mut result = compiler.compile(&circuit, &CompilerOptions::strategy(Strategy::Cls));
         // Corrupt the program by dropping an instruction.
         result.instructions.pop();
@@ -228,7 +228,7 @@ mod tests {
         let circuit = small_qaoa();
         let device = Device::transmon(Topology::Linear(3));
         let model = CalibratedLatencyModel::asplos19();
-        let compiler = Compiler::new(device, &model);
+        let compiler = Compiler::new(&device, &model);
         let result = compiler.compile(
             &circuit,
             &CompilerOptions {

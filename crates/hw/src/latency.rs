@@ -37,6 +37,14 @@ pub trait LatencyModel: Send + Sync {
     /// constituent gate sequence as one optimized pulse.
     fn aggregate_latency(&self, constituents: &[Instruction]) -> f64;
 
+    /// Whether one `aggregate_latency` query is expensive enough (e.g. a
+    /// numerical optimal-control solve) that independent queries are worth
+    /// fanning out over threads. Cheap analytic models keep the default
+    /// `false`, so callers skip the thread-spawn overhead and price serially.
+    fn parallel_pricing(&self) -> bool {
+        false
+    }
+
     /// Human-readable name for reports.
     fn name(&self) -> &'static str;
 }

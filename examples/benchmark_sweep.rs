@@ -22,7 +22,7 @@ fn main() {
     for bench in &suite {
         let device = Device::transmon_grid(bench.circuit.n_qubits());
         let model = CalibratedLatencyModel::new(device.limits);
-        let compiler = Compiler::new(device, &model);
+        let compiler = Compiler::new(&device, &model);
         let isa = compiler.compile(
             &bench.circuit,
             &CompilerOptions::strategy(Strategy::IsaBaseline),

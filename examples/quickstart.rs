@@ -17,7 +17,7 @@ fn main() {
 
     let device = Device::transmon_line(3);
     let model = CalibratedLatencyModel::new(device.limits);
-    let compiler = Compiler::new(device, &model);
+    let compiler = Compiler::new(&device, &model);
 
     let mut baseline = 0.0;
     println!(

@@ -11,7 +11,7 @@ fn stage_snapshots_follow_fig6() {
     let circuit = qaoa::paper_triangle_example();
     let device = Device::transmon_line(3);
     let model = CalibratedLatencyModel::new(device.limits);
-    let compiler = Compiler::new(device, &model);
+    let compiler = Compiler::new(&device, &model);
     let result = compiler.compile(
         &circuit,
         &CompilerOptions::strategy(Strategy::ClsAggregation),

@@ -1,0 +1,100 @@
+//! Determinism of the parallel pricing engine: compiling with the thread pool
+//! fanned out must produce latencies identical to the single-threaded path.
+//!
+//! The compiler parallelizes three pricing loops (initial latency vectoring in
+//! aggregation, final pricing, and the 5-way strategy fan-out) behind the
+//! sharded compute-once latency cache. All latency models are deterministic,
+//! so thread scheduling must never leak into the results — these tests pin
+//! that property on the QAOA and Ising workloads the paper evaluates.
+
+use qcc::compiler::{AggregationOptions, Compiler, CompilerOptions, Strategy};
+use qcc::control::GrapeLatencyModel;
+use qcc::hw::{CalibratedLatencyModel, Device};
+use qcc::ir::Circuit;
+use qcc::workloads::{ising, qaoa};
+
+/// Asserts two compilation results agree to 1e-12 in every latency (they are
+/// in fact bit-identical for our deterministic models, but the public
+/// guarantee is the tolerance).
+fn assert_latencies_match(
+    a: &qcc::compiler::CompilationResult,
+    b: &qcc::compiler::CompilationResult,
+    context: &str,
+) {
+    assert!(
+        (a.total_latency_ns - b.total_latency_ns).abs() < 1e-12,
+        "{context}: total latency {} vs {}",
+        a.total_latency_ns,
+        b.total_latency_ns
+    );
+    assert_eq!(a.latencies.len(), b.latencies.len(), "{context}");
+    for (i, (x, y)) in a.latencies.iter().zip(b.latencies.iter()).enumerate() {
+        assert!(
+            (x - y).abs() < 1e-12,
+            "{context}: instruction {i} priced {x} vs {y}"
+        );
+    }
+    assert_eq!(a.swap_count, b.swap_count, "{context}");
+    assert_eq!(a.instructions.len(), b.instructions.len(), "{context}");
+}
+
+#[test]
+fn parallel_compare_strategies_matches_the_serial_path() {
+    let workloads: Vec<(&str, Circuit)> = vec![
+        ("MAXCUT-line-8", qaoa::maxcut_line(8)),
+        ("MAXCUT-reg4-8", qaoa::maxcut_reg4(8, 11)),
+        ("Ising-chain-8", ising::ising_chain(8)),
+    ];
+    for (name, circuit) in &workloads {
+        let device = Device::transmon_grid(circuit.n_qubits());
+        let model = CalibratedLatencyModel::new(device.limits);
+        let parallel = Compiler::new(&device, &model).with_threads(8);
+        let serial = Compiler::new(&device, &model).with_threads(1);
+
+        let fanned_out = parallel.compare_strategies(circuit, AggregationOptions::default());
+        for strategy in Strategy::all() {
+            let reference = serial.compile(
+                circuit,
+                &CompilerOptions {
+                    strategy,
+                    aggregation: AggregationOptions::default(),
+                },
+            );
+            assert_latencies_match(
+                fanned_out.get(strategy),
+                &reference,
+                &format!("{name}/{strategy:?}"),
+            );
+        }
+    }
+}
+
+#[test]
+fn parallel_grape_pricing_matches_the_serial_path() {
+    // The same property through the real optimal-control unit: one shared
+    // GRAPE model priced from the pool must give the single-threaded answer
+    // (compute-once cache + deterministic seeded solves).
+    let circuit = qaoa::paper_triangle_example();
+    let device = Device::transmon_line(3);
+    let options = CompilerOptions {
+        strategy: Strategy::ClsAggregation,
+        aggregation: AggregationOptions::with_width(2),
+    };
+
+    let serial_model = GrapeLatencyModel::fast_two_qubit();
+    let reference = Compiler::new(&device, &serial_model)
+        .with_threads(1)
+        .compile(&circuit, &options);
+
+    let parallel_model = GrapeLatencyModel::fast_two_qubit();
+    let parallel = Compiler::new(&device, &parallel_model)
+        .with_threads(8)
+        .compile(&circuit, &options);
+
+    assert_latencies_match(&parallel, &reference, "GRAPE triangle");
+    // Every key was solved exactly once despite the 8-way pricing fan-out.
+    assert_eq!(
+        parallel_model.solve_count(),
+        parallel_model.cached_entries()
+    );
+}

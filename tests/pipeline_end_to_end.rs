@@ -8,7 +8,7 @@ use qcc::workloads::{ising, qaoa, qft, uccsd};
 fn compile(circuit: &qcc::ir::Circuit, strategy: Strategy) -> qcc::compiler::CompilationResult {
     let device = Device::transmon_grid(circuit.n_qubits());
     let model = CalibratedLatencyModel::new(device.limits);
-    let compiler = Compiler::new(device, &model);
+    let compiler = Compiler::new(&device, &model);
     compiler.compile(
         circuit,
         &CompilerOptions {
@@ -25,7 +25,7 @@ fn qaoa_triangle_matches_paper_shape() {
     let circuit = qaoa::paper_triangle_example();
     let device = Device::transmon_line(3);
     let model = CalibratedLatencyModel::new(device.limits);
-    let compiler = Compiler::new(device, &model);
+    let compiler = Compiler::new(&device, &model);
     let isa = compiler
         .compile(&circuit, &CompilerOptions::strategy(Strategy::IsaBaseline))
         .total_latency_ns;
@@ -77,7 +77,7 @@ fn compilation_preserves_semantics_for_all_strategies() {
             // Use a line device so routing SWAPs are exercised.
             let device = Device::transmon_line(circuit.n_qubits());
             let model = CalibratedLatencyModel::new(device.limits);
-            let compiler = Compiler::new(device, &model);
+            let compiler = Compiler::new(&device, &model);
             let result = compiler.compile(&circuit, &CompilerOptions::strategy(strategy));
             let check = verify_compilation(&circuit, &result);
             assert!(
@@ -118,7 +118,7 @@ fn wider_instruction_limits_help_serial_circuits() {
     let circuit = uccsd::uccsd_benchmark(4);
     let device = Device::transmon_grid(circuit.n_qubits());
     let model = CalibratedLatencyModel::new(device.limits);
-    let compiler = Compiler::new(device, &model);
+    let compiler = Compiler::new(&device, &model);
     let lat = |width: usize| {
         compiler
             .compile(
@@ -150,7 +150,7 @@ fn swap_heavy_circuits_gain_more_from_aggregation() {
     let circuit = qaoa::maxcut_reg4(8, 11);
     let ratio = |device: Device| {
         let model = CalibratedLatencyModel::new(device.limits);
-        let compiler = Compiler::new(device, &model);
+        let compiler = Compiler::new(&device, &model);
         let cls = compiler
             .compile(&circuit, &CompilerOptions::strategy(Strategy::Cls))
             .total_latency_ns;
