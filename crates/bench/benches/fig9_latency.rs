@@ -1,8 +1,16 @@
 //! Figure 9 (headline result): normalized circuit latency of every compilation
 //! strategy over the whole benchmark suite, plus the §6.4 encoding-scheme
 //! comparison (aggregation vs hand-optimization ratios).
+//!
+//! Set `QCC_STRATEGY=<name>` to sweep a single strategy (normalized against
+//! the ISA baseline, which always runs); the §6.4 section needs both
+//! `CLS+Aggregation` and `CLS+HandOpt` and is skipped when either is filtered
+//! out.
 
-use qcc_bench::{all_strategy_latencies, banner, geometric_mean, render_table, scale_from_env};
+use qcc_bench::{
+    all_strategy_latencies, banner, geometric_mean, render_table, scale_from_env,
+    strategies_from_env,
+};
 use qcc_core::Strategy;
 use qcc_workloads::standard_suite;
 
@@ -13,6 +21,14 @@ fn main() {
     );
     let suite = standard_suite(scale_from_env(), 2019);
     let width = 10;
+    let strategies = strategies_from_env();
+    let reported: Vec<Strategy> = strategies
+        .iter()
+        .copied()
+        .filter(|s| *s != Strategy::IsaBaseline)
+        .collect();
+    let full_sweep = reported.contains(&Strategy::ClsAggregation)
+        && reported.contains(&Strategy::ClsHandOptimized);
 
     let mut rows = Vec::new();
     let mut speedups_full = Vec::new();
@@ -33,38 +49,29 @@ fn main() {
                 .map(|(_, l)| l / isa)
                 .unwrap_or(1.0)
         };
-        let full = norm(Strategy::ClsAggregation);
-        let hand = norm(Strategy::ClsHandOptimized);
-        speedups_full.push(1.0 / full);
-        speedups_hand.push(1.0 / hand);
-        encoding_rows.push(vec![
-            bench.name.clone(),
-            format!("{:.2}", (1.0 / full) / (1.0 / hand)),
-        ]);
-        rows.push(vec![
-            bench.name.clone(),
-            format!("{:.1}", isa),
-            format!("{:.3}", norm(Strategy::Cls)),
-            format!("{:.3}", norm(Strategy::AggregationOnly)),
-            format!("{:.3}", full),
-            format!("{:.3}", hand),
-        ]);
+        if full_sweep {
+            let full = norm(Strategy::ClsAggregation);
+            let hand = norm(Strategy::ClsHandOptimized);
+            speedups_full.push(1.0 / full);
+            speedups_hand.push(1.0 / hand);
+            encoding_rows.push(vec![
+                bench.name.clone(),
+                format!("{:.2}", (1.0 / full) / (1.0 / hand)),
+            ]);
+        }
+        let mut row = vec![bench.name.clone(), format!("{:.1}", isa)];
+        row.extend(reported.iter().map(|&s| format!("{:.3}", norm(s))));
+        rows.push(row);
     }
 
-    println!(
-        "{}",
-        render_table(
-            &[
-                "benchmark",
-                "ISA latency (ns)",
-                "CLS",
-                "Aggregation",
-                "CLS+Agg",
-                "CLS+HandOpt"
-            ],
-            &rows
-        )
-    );
+    let mut headers: Vec<&str> = vec!["benchmark", "ISA latency (ns)"];
+    headers.extend(reported.iter().map(|s| s.name()));
+    println!("{}", render_table(&headers, &rows));
+
+    if !full_sweep {
+        println!("(QCC_STRATEGY set — §6.4 encoding comparison skipped)");
+        return;
+    }
     println!(
         "Geometric-mean speedup of CLS+Aggregation over ISA: {:.2}x   (paper: 5.07x)",
         geometric_mean(&speedups_full)

@@ -7,12 +7,14 @@
 //!
 //! Set `QCC_BENCH_SCALE=reduced` to run every experiment on scaled-down
 //! benchmark instances (useful for smoke tests); the default is the paper's
-//! full sizes.
+//! full sizes. Set `QCC_STRATEGY=<name>` (e.g. `cls+aggregation`, see
+//! [`Strategy`]'s `FromStr` impl) to restrict the strategy-sweep experiments
+//! to one strategy — the ISA baseline is always kept for normalization.
 
 #![warn(missing_docs)]
 
-use qcc_core::{AggregationOptions, Compiler, CompilerOptions, Strategy};
-use qcc_hw::{CalibratedLatencyModel, Device};
+use qcc_core::{AggregationOptions, CompileService, CompilerOptions, Strategy};
+use qcc_hw::Device;
 use qcc_ir::Circuit;
 use qcc_workloads::{Benchmark, SuiteScale};
 
@@ -24,22 +26,52 @@ pub fn scale_from_env() -> SuiteScale {
     }
 }
 
+/// Strategies selected by the `QCC_STRATEGY` environment variable.
+///
+/// Unset (or empty): every strategy, in [`Strategy::all`] order. Set to a
+/// parseable strategy name: the ISA baseline (kept so normalized latencies
+/// stay meaningful) followed by the chosen strategy — single-strategy runs
+/// then need no code edits.
+///
+/// # Panics
+///
+/// Panics with the parse error when the variable is set to an unknown name.
+pub fn strategies_from_env() -> Vec<Strategy> {
+    match std::env::var("QCC_STRATEGY") {
+        Ok(v) if !v.trim().is_empty() => {
+            let chosen: Strategy = v
+                .parse()
+                .unwrap_or_else(|e| panic!("invalid QCC_STRATEGY: {e}"));
+            if chosen == Strategy::IsaBaseline {
+                vec![chosen]
+            } else {
+                vec![Strategy::IsaBaseline, chosen]
+            }
+        }
+        _ => Strategy::all().to_vec(),
+    }
+}
+
 /// Compiles a circuit with one strategy on a grid device sized for it, using
-/// the calibrated latency model, and returns the total pulse latency in ns.
+/// the default calibrated latency model via [`CompileService`], and returns
+/// the total pulse latency in ns.
 pub fn latency_for(circuit: &Circuit, strategy: Strategy, width: usize) -> f64 {
     let device = Device::transmon_grid(circuit.n_qubits());
-    let model = CalibratedLatencyModel::new(device.limits);
-    let compiler = Compiler::new(&device, &model);
+    let service = CompileService::new(&device);
     let options = CompilerOptions {
         strategy,
         aggregation: AggregationOptions::with_width(width),
     };
-    compiler.compile(circuit, &options).total_latency_ns
+    service
+        .compile(circuit, &options)
+        .expect("grid device sized for the circuit")
+        .total_latency_ns
 }
 
-/// Latencies of every strategy for one benchmark, in [`Strategy::all`] order.
+/// Latencies of the selected strategies ([`strategies_from_env`]) for one
+/// benchmark, in selection order.
 pub fn all_strategy_latencies(bench: &Benchmark, width: usize) -> Vec<(Strategy, f64)> {
-    Strategy::all()
+    strategies_from_env()
         .into_iter()
         .map(|s| (s, latency_for(&bench.circuit, s, width)))
         .collect()

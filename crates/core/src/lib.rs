@@ -17,10 +17,15 @@
 //!    Aggregation, CLS+Aggregation, CLS+hand-optimization);
 //! 6. [`verify`] — circuit-level and pulse-level verification (§3.6).
 //!
+//! Each stage is exposed as a composable [`passes::Pass`]; a [`Strategy`] is a
+//! preset recipe over those passes ([`Strategy::pipeline`]), custom orders are
+//! assembled with [`passes::PipelineBuilder`], and batches of circuits go
+//! through the [`CompileService`] front door (or [`Compiler::compile_batch`]).
+//!
 //! ## Example
 //!
 //! ```
-//! use qcc_core::pipeline::{compile_with_default_model, CompilerOptions, Strategy};
+//! use qcc_core::{compile_with_default_model, CompilerOptions, Strategy};
 //! use qcc_hw::Device;
 //! use qcc_ir::{Circuit, Gate};
 //!
@@ -47,16 +52,21 @@ pub mod frontend;
 pub mod handopt;
 pub mod instr;
 pub mod mapping;
+pub mod passes;
 pub mod pipeline;
 pub mod schedule;
+pub mod service;
 pub mod verify;
 
 pub use aggregate::{AggregationOptions, AggregationStats};
 pub use instr::{AggregateInstruction, InstructionOrigin};
 pub use mapping::Layout;
+pub use passes::{
+    CompileError, GatePricing, Pass, PassContext, PassReport, PassState, Pipeline, PipelineBuilder,
+};
 pub use pipeline::{
-    compile_with_default_model, CompilationResult, Compiler, CompilerOptions, StageSnapshot,
-    Strategy, StrategyComparison,
+    CompilationResult, Compiler, CompilerOptions, ParseStrategyError, Strategy, StrategyComparison,
 };
 pub use schedule::{asap_schedule, Schedule, ScheduledInstruction};
+pub use service::{compile_with_default_model, CompileService};
 pub use verify::{verify_compilation, verify_sampled_pulses, CircuitVerification};

@@ -1,0 +1,32 @@
+//! The `aggregation` pass.
+
+use super::{CompileError, Pass, PassContext, PassState};
+use crate::aggregate;
+
+/// Monotonic-action instruction aggregation iterating with the latency model
+/// (§4.1, §4.3), using the width limit and thresholds from
+/// [`CompilerOptions::aggregation`](crate::pipeline::CompilerOptions).
+/// The initial latency vectoring fans out over the context's pricing pool.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Aggregate;
+
+impl Pass for Aggregate {
+    fn name(&self) -> &'static str {
+        "aggregation"
+    }
+
+    fn run(&self, state: &mut PassState, ctx: &PassContext) -> Result<(), CompileError> {
+        let (aggregated, stats) = aggregate::run_with_pool(
+            &state.instructions,
+            ctx.model,
+            &ctx.options.aggregation,
+            ctx.pricing_pool(),
+        );
+        state.instructions = aggregated;
+        aggregate::finalize_origins(&mut state.instructions);
+        state.aggregation = stats;
+        // Any previously computed prices described the pre-merge stream.
+        state.invalidate_derived();
+        Ok(())
+    }
+}

@@ -1,0 +1,75 @@
+//! The `cls` and `final-cls` passes: commutativity-aware logical scheduling.
+
+use super::{CompileError, GatePricing, Pass, PassContext, PassState};
+use crate::cls;
+
+/// Commutativity-aware logical scheduling (Algorithm 1, §3.3.2) on the
+/// gate-level stream, prioritized by gate-based prices.
+///
+/// When aggregation follows, use [`FinalCls`](super::FinalCls) *after* the
+/// [`Aggregate`](super::Aggregate) pass instead: the aggregation search works
+/// on program order, and rescheduling the aggregated instructions afterwards
+/// preserves both benefits (§3.4.2).
+#[derive(Debug, Clone, Copy)]
+pub struct Cls {
+    pricing: GatePricing,
+}
+
+impl Cls {
+    /// CLS prioritized by the given gate-pricing mode.
+    pub fn new(pricing: GatePricing) -> Self {
+        Self { pricing }
+    }
+}
+
+impl Default for Cls {
+    fn default() -> Self {
+        Self::new(GatePricing::Isa)
+    }
+}
+
+impl Pass for Cls {
+    fn name(&self) -> &'static str {
+        "cls"
+    }
+
+    fn run(&self, state: &mut PassState, ctx: &PassContext) -> Result<(), CompileError> {
+        let lat: Vec<f64> = state
+            .instructions
+            .iter()
+            .map(|i| ctx.gate_latency(i, self.pricing))
+            .collect();
+        let result = cls::schedule(&state.instructions, &lat);
+        state.instructions = cls::apply_order(&state.instructions, &result.order);
+        state.invalidate_derived();
+        Ok(())
+    }
+}
+
+/// Re-runs CLS on the *aggregated* instructions before emitting pulses, as the
+/// paper does (§3.4.2), pricing each instruction as a single optimized pulse.
+///
+/// Pricing fans out over the context's pricing pool; the computed prices are
+/// permuted alongside the reordering and stored in
+/// [`PassState::latencies`], so a later [`Price`](super::Price) pass is a
+/// no-op instead of re-querying the model.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FinalCls;
+
+impl Pass for FinalCls {
+    fn name(&self) -> &'static str {
+        "final-cls"
+    }
+
+    fn run(&self, state: &mut PassState, ctx: &PassContext) -> Result<(), CompileError> {
+        let lat = ctx.pricing_pool().parallel_map(&state.instructions, |i| {
+            ctx.model.aggregate_latency(&i.constituents)
+        });
+        let result = cls::schedule(&state.instructions, &lat);
+        state.instructions = cls::apply_order(&state.instructions, &result.order);
+        // apply_order only permutes instructions; permute their prices
+        // alongside instead of re-querying the model later.
+        state.latencies = Some(result.order.iter().map(|&i| lat[i]).collect());
+        Ok(())
+    }
+}

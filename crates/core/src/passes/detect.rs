@@ -1,0 +1,22 @@
+//! The `commutativity-detection` pass.
+
+use super::{CompileError, Pass, PassContext, PassState};
+use crate::frontend;
+
+/// Detects commuting diagonal blocks (CNOT–Rz–CNOT structures, §3.3.1/§4.2)
+/// and contracts each into a single instruction, exposing the reordering
+/// freedom CLS and aggregation exploit.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DetectDiagonalBlocks;
+
+impl Pass for DetectDiagonalBlocks {
+    fn name(&self) -> &'static str {
+        "commutativity-detection"
+    }
+
+    fn run(&self, state: &mut PassState, _ctx: &PassContext) -> Result<(), CompileError> {
+        state.instructions = frontend::detect_diagonal_blocks(&state.instructions);
+        state.invalidate_derived();
+        Ok(())
+    }
+}

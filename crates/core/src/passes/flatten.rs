@@ -1,0 +1,22 @@
+//! The `flatten` pass: lowering the circuit to the virtual ISA.
+
+use super::{CompileError, Pass, PassContext, PassState};
+use crate::frontend;
+
+/// Lowers the input circuit to a stream of 1-/2-qubit instructions (the
+/// virtual ISA of §3.2). Always the first pass of a pipeline: it replaces
+/// whatever instruction stream the state held.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Flatten;
+
+impl Pass for Flatten {
+    fn name(&self) -> &'static str {
+        "flatten"
+    }
+
+    fn run(&self, state: &mut PassState, ctx: &PassContext) -> Result<(), CompileError> {
+        state.instructions = frontend::lower(ctx.circuit);
+        state.invalidate_derived();
+        Ok(())
+    }
+}

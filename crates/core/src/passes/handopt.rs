@@ -1,0 +1,21 @@
+//! The `hand-optimization` pass.
+
+use super::{CompileError, Pass, PassContext, PassState};
+use crate::handopt;
+
+/// Mechanically applies the hand-tuned iSWAP-architecture rewrites
+/// (references [39, 48] of the paper) to the instruction stream.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct HandOptimize;
+
+impl Pass for HandOptimize {
+    fn name(&self) -> &'static str {
+        "hand-optimization"
+    }
+
+    fn run(&self, state: &mut PassState, _ctx: &PassContext) -> Result<(), CompileError> {
+        state.instructions = handopt::rewrite(&state.instructions);
+        state.invalidate_derived();
+        Ok(())
+    }
+}

@@ -1,0 +1,67 @@
+//! The `price` pass: per-instruction latency assignment.
+
+use super::{CompileError, GatePricing, Pass, PassContext, PassState};
+
+/// How the [`Price`] pass costs each instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum PricingMode {
+    /// Sum of the constituent gate pulses (gate-based compilation).
+    PerGate(GatePricing),
+    /// One optimized pulse per instruction (aggregated compilation).
+    PerInstruction,
+}
+
+/// Fills in [`PassState::latencies`] for the current instruction stream.
+///
+/// If an earlier pass already priced the stream (e.g.
+/// [`FinalCls`](super::FinalCls)), this pass keeps those prices untouched —
+/// appending it to any pipeline is therefore always safe. Per-instruction
+/// pricing fans out over the context's pricing pool; the per-gate modes are
+/// cheap arithmetic and stay serial.
+#[derive(Debug, Clone, Copy)]
+pub struct Price {
+    mode: PricingMode,
+}
+
+impl Price {
+    /// Prices each instruction as the sum of its constituent gate pulses.
+    pub fn per_gate(pricing: GatePricing) -> Self {
+        Self {
+            mode: PricingMode::PerGate(pricing),
+        }
+    }
+
+    /// Prices each instruction as a single optimized pulse
+    /// ([`LatencyModel::aggregate_latency`](qcc_hw::LatencyModel::aggregate_latency)).
+    pub fn per_instruction() -> Self {
+        Self {
+            mode: PricingMode::PerInstruction,
+        }
+    }
+}
+
+impl Pass for Price {
+    fn name(&self) -> &'static str {
+        "price"
+    }
+
+    fn run(&self, state: &mut PassState, ctx: &PassContext) -> Result<(), CompileError> {
+        if state.latencies.is_some() {
+            return Ok(());
+        }
+        let latencies = match self.mode {
+            PricingMode::PerInstruction => ctx
+                .pricing_pool()
+                .parallel_map(&state.instructions, |inst| {
+                    ctx.model.aggregate_latency(&inst.constituents)
+                }),
+            PricingMode::PerGate(pricing) => state
+                .instructions
+                .iter()
+                .map(|i| ctx.gate_latency(i, pricing))
+                .collect(),
+        };
+        state.latencies = Some(latencies);
+        Ok(())
+    }
+}

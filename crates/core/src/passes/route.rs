@@ -1,0 +1,32 @@
+//! The `route` pass: qubit mapping and SWAP insertion.
+
+use super::{CompileError, Pass, PassContext, PassState};
+use crate::mapping;
+
+/// Places logical qubits by recursive interaction-graph bisection and inserts
+/// SWAP chains in front of non-adjacent multi-qubit instructions (§3.4.1).
+/// Rewrites the stream onto *physical* qubits and records the initial/final
+/// layouts and the SWAP count.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Route;
+
+impl Pass for Route {
+    fn name(&self) -> &'static str {
+        "route"
+    }
+
+    fn run(&self, state: &mut PassState, ctx: &PassContext) -> Result<(), CompileError> {
+        let needed = ctx.circuit.n_qubits();
+        let available = ctx.device.topology.n_qubits();
+        if available < needed {
+            return Err(CompileError::DeviceTooSmall { needed, available });
+        }
+        let routed = mapping::map_and_route(&state.instructions, needed, &ctx.device.topology);
+        state.swap_count += routed.swap_count;
+        state.initial_layout = Some(routed.initial_layout);
+        state.final_layout = Some(routed.final_layout);
+        state.instructions = routed.instructions;
+        state.invalidate_derived();
+        Ok(())
+    }
+}

@@ -1,0 +1,22 @@
+//! The `schedule` pass: final ASAP scheduling.
+
+use super::{CompileError, Pass, PassContext, PassState};
+use crate::schedule::asap_schedule;
+
+/// Builds the final ASAP schedule of the priced instructions on the device.
+/// Requires a pricing pass ([`Price`](super::Price) or
+/// [`FinalCls`](super::FinalCls)) to have run.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AsapSchedule;
+
+impl Pass for AsapSchedule {
+    fn name(&self) -> &'static str {
+        "schedule"
+    }
+
+    fn run(&self, state: &mut PassState, _ctx: &PassContext) -> Result<(), CompileError> {
+        let latencies = state.require_latencies("schedule")?;
+        state.schedule = Some(asap_schedule(&state.instructions, latencies));
+        Ok(())
+    }
+}

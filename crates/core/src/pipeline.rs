@@ -1,8 +1,13 @@
-//! The end-to-end compilation pipeline and the strategy matrix of the
-//! evaluation (Fig. 9).
+//! The compilation driver and the strategy matrix of the evaluation (Fig. 9).
 //!
-//! Every strategy shares the same front door (flattening) and the same back
-//! door (ASAP scheduling of priced instructions on the device); they differ in
+//! Compilation is organized as an explicit pipeline of [`passes`](crate::passes):
+//! a [`Strategy`] is a *preset recipe* ([`Strategy::pipeline`]) over the
+//! built-in passes, and [`Compiler::compile`] is a thin driver that runs the
+//! recipe. Custom pass orders are assembled with
+//! [`PipelineBuilder`] and run through [`Compiler::run_pipeline`].
+//!
+//! Every preset shares the same front door (flattening) and the same back door
+//! (ASAP scheduling of priced instructions on the device); they differ in
 //! which of the paper's passes run in between:
 //!
 //! | strategy | commutativity detection | CLS | routing | aggregation | pricing |
@@ -11,22 +16,31 @@
 //! | `Cls` | ✓ | ✓ | ✓ | – | per-gate ISA pulses |
 //! | `AggregationOnly` | ✓ | – | ✓ | ✓ | per-instruction optimized pulses |
 //! | `ClsAggregation` | ✓ | ✓ | ✓ | ✓ | per-instruction optimized pulses |
-//! | `ClsHandOptimized` | – | ✓ | ✓ | – | hand-tuned gate pulses ([39,48]) |
+//! | `ClsHandOptimized` | – | ✓ | ✓ | – | hand-tuned gate pulses (\[39,48\]) |
 
-use crate::aggregate::{self, AggregationOptions, AggregationStats};
-use crate::cls;
-use crate::frontend;
-use crate::handopt;
+use crate::aggregate::{AggregationOptions, AggregationStats};
 use crate::instr::AggregateInstruction;
 use crate::mapping;
-use crate::schedule::{asap_schedule, Schedule};
-use qcc_hw::{CalibratedLatencyModel, Device, LatencyModel};
+use crate::passes::{
+    Aggregate, AsapSchedule, Cls, CompileError, DetectDiagonalBlocks, Flatten, GatePricing,
+    HandOptimize, PassContext, PassReport, PassState, Pipeline, PipelineBuilder, Price, Route,
+};
+use crate::schedule::Schedule;
+use qcc_hw::{Device, LatencyModel};
 use qcc_ir::Circuit;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
+use std::fmt;
+use std::str::FromStr;
 use threadpool::ThreadPool;
 
 /// Compilation strategy, matching the bars of Fig. 9.
+///
+/// A strategy is a *recipe*: [`Strategy::pipeline`] materializes it as a
+/// [`Pipeline`] of the public [`passes`](crate::passes), which
+/// [`Compiler::compile`] then drives. Parse one from a string
+/// (`"cls+aggregation"`) with [`FromStr`]; [`Display`](fmt::Display) prints
+/// the same short report names, so the two round-trip.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum Strategy {
     /// Standard gate-based (ISA) compilation — the baseline with latency 1.0.
@@ -86,17 +100,111 @@ impl Strategy {
         matches!(self, Strategy::ClsHandOptimized)
     }
 
+    fn gate_pricing(&self) -> GatePricing {
+        if self.uses_handopt() {
+            GatePricing::HandOptimized
+        } else {
+            GatePricing::Isa
+        }
+    }
+
     /// Whether instructions are priced as single optimized pulses (aggregated
     /// compilation) rather than sequences of per-gate pulses.
     pub fn pulse_per_instruction(&self) -> bool {
         self.uses_aggregation()
+    }
+
+    /// Materializes this strategy as a runnable [`Pipeline`] — the preset
+    /// recipe [`Compiler::compile`] drives.
+    ///
+    /// The logical-level [`Cls`] pass is skipped when aggregation follows: the
+    /// aggregation search works on program order, and the commutativity-aware
+    /// reordering is applied to the *aggregated* instructions afterwards
+    /// ([`FinalCls`](crate::passes::FinalCls)), which preserves both benefits
+    /// (the paper likewise reschedules the aggregated instructions with CLS
+    /// before emitting pulses, §3.4.2).
+    pub fn pipeline(&self) -> Pipeline {
+        let mut b = PipelineBuilder::new().add(Flatten);
+        if self.uses_detection() {
+            b = b.add(DetectDiagonalBlocks);
+        }
+        if self.uses_handopt() {
+            b = b.add(HandOptimize);
+        }
+        if self.uses_cls() && !self.uses_aggregation() {
+            b = b.add(Cls::new(self.gate_pricing()));
+        }
+        b = b.add(Route);
+        if self.uses_aggregation() {
+            b = b.add(Aggregate);
+            if self.uses_cls() {
+                b = b.add(crate::passes::FinalCls);
+            }
+        }
+        let price = if self.pulse_per_instruction() {
+            Price::per_instruction()
+        } else {
+            Price::per_gate(self.gate_pricing())
+        };
+        b.add(price).add(AsapSchedule).build()
+    }
+}
+
+impl fmt::Display for Strategy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Error returned when parsing a [`Strategy`] from a string fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseStrategyError {
+    input: String,
+}
+
+impl fmt::Display for ParseStrategyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "unknown strategy '{}' (expected one of: isa, cls, aggregation, \
+             cls+aggregation, cls+handopt)",
+            self.input
+        )
+    }
+}
+
+impl std::error::Error for ParseStrategyError {}
+
+impl FromStr for Strategy {
+    type Err = ParseStrategyError;
+
+    /// Parses the short report names case-insensitively, accepting a few
+    /// common aliases: `"isa"`, `"cls"`, `"aggregation"`/`"agg"`,
+    /// `"cls+aggregation"`/`"cls+agg"`/`"full"`, `"cls+handopt"`/`"handopt"`.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "isa" | "isa-baseline" | "isabaseline" | "baseline" => Ok(Strategy::IsaBaseline),
+            "cls" => Ok(Strategy::Cls),
+            "aggregation" | "agg" | "aggregation-only" | "aggregationonly" => {
+                Ok(Strategy::AggregationOnly)
+            }
+            "cls+aggregation" | "cls+agg" | "clsaggregation" | "full" => {
+                Ok(Strategy::ClsAggregation)
+            }
+            "cls+handopt" | "cls+hand-optimized" | "clshandoptimized" | "handopt" => {
+                Ok(Strategy::ClsHandOptimized)
+            }
+            _ => Err(ParseStrategyError {
+                input: s.to_string(),
+            }),
+        }
     }
 }
 
 /// Options of a compilation run.
 #[derive(Debug, Clone)]
 pub struct CompilerOptions {
-    /// Which passes to run.
+    /// Which preset recipe to run (also tags the [`CompilationResult`]).
     pub strategy: Strategy,
     /// Aggregation options (width limit etc.).
     pub aggregation: AggregationOptions,
@@ -129,22 +237,11 @@ impl CompilerOptions {
     }
 }
 
-/// Snapshot of the instruction stream after one pipeline stage (the material
-/// of Fig. 6).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-pub struct StageSnapshot {
-    /// Stage name.
-    pub stage: String,
-    /// Number of instructions after the stage.
-    pub instructions: usize,
-    /// Number of constituent gates after the stage.
-    pub gates: usize,
-}
-
-/// Result of compiling one circuit with one strategy.
+/// Result of compiling one circuit with one pipeline.
 #[derive(Debug, Clone)]
 pub struct CompilationResult {
-    /// The strategy that produced this result.
+    /// The strategy that produced this result (for custom pipelines, the
+    /// strategy tag of the options used).
     pub strategy: Strategy,
     /// Final instruction stream on physical qubits.
     pub instructions: Vec<AggregateInstruction>,
@@ -156,17 +253,30 @@ pub struct CompilationResult {
     pub total_latency_ns: f64,
     /// Number of routing SWAPs inserted.
     pub swap_count: usize,
-    /// Aggregation statistics (zeroed when the strategy does not aggregate).
+    /// Aggregation statistics (zeroed when the pipeline does not aggregate).
     pub aggregation: AggregationStats,
-    /// Instruction-count snapshots per pipeline stage.
-    pub stages: Vec<StageSnapshot>,
-    /// The initial qubit layout used.
+    /// One typed report per executed pass, in execution order: instruction and
+    /// gate counts after the pass (the material of Fig. 6) plus wall-clock
+    /// timing.
+    pub reports: Vec<PassReport>,
+    /// The initial qubit layout used (identity when no routing pass ran).
     pub initial_layout: mapping::Layout,
-    /// The final qubit layout (after routing SWAPs).
+    /// The final qubit layout (after routing SWAPs; identity when no routing
+    /// pass ran).
     pub final_layout: mapping::Layout,
 }
 
 impl CompilationResult {
+    /// The report of the named pass, if it ran.
+    pub fn report(&self, pass: &str) -> Option<&PassReport> {
+        self.reports.iter().find(|r| r.pass == pass)
+    }
+
+    /// Total wall-clock time spent across all passes.
+    pub fn total_pass_time(&self) -> std::time::Duration {
+        self.reports.iter().map(|r| r.wall_time).sum()
+    }
+
     /// Histogram of instruction widths in the final program.
     pub fn width_histogram(&self) -> HashMap<usize, usize> {
         let mut h = HashMap::new();
@@ -207,7 +317,8 @@ impl CompilationResult {
 /// Both the device and the model are borrowed — compiling never clones the
 /// device, so one `Device` can back any number of compilers (and one compiler
 /// any number of concurrent `compile` calls: `Compiler` is `Sync`, and the
-/// latency models are internally synchronized).
+/// latency models are internally synchronized). For an owning front door that
+/// also constructs the model, see [`CompileService`](crate::CompileService).
 pub struct Compiler<'a> {
     device: &'a Device,
     model: &'a dyn LatencyModel,
@@ -239,126 +350,77 @@ impl<'a> Compiler<'a> {
         self.device
     }
 
-    /// Compiles `circuit` with the given options.
+    /// Compiles `circuit` with the given options by driving the strategy's
+    /// preset pipeline ([`Strategy::pipeline`]).
     ///
     /// # Panics
     ///
-    /// Panics if the circuit needs more qubits than the device provides.
+    /// Panics if compilation fails — in practice, if the circuit needs more
+    /// qubits than the device provides. Use [`try_compile`](Self::try_compile)
+    /// to handle the error instead.
     pub fn compile(&self, circuit: &Circuit, options: &CompilerOptions) -> CompilationResult {
-        let strategy = options.strategy;
-        // Fan per-instruction pricing out over the pool only when the model
-        // says a single query is expensive (GRAPE solves); for cheap analytic
-        // models the scoped thread spawns would cost more than the loop.
-        let pricing_pool = if self.model.parallel_pricing() {
-            self.pool
-        } else {
-            ThreadPool::serial()
+        self.try_compile(circuit, options)
+            .unwrap_or_else(|e| panic!("compilation failed: {e}"))
+    }
+
+    /// Compiles `circuit` with the given options, returning an error instead
+    /// of panicking when the device is too small (or a custom option set
+    /// assembles an incomplete pipeline).
+    pub fn try_compile(
+        &self,
+        circuit: &Circuit,
+        options: &CompilerOptions,
+    ) -> Result<CompilationResult, CompileError> {
+        self.run_pipeline(&options.strategy.pipeline(), circuit, options)
+    }
+
+    /// Drives an explicit [`Pipeline`] — preset or custom-built via
+    /// [`PipelineBuilder`] — over `circuit` and packages the final state as a
+    /// [`CompilationResult`].
+    ///
+    /// The pipeline must end with the state priced and scheduled (a
+    /// [`Price`]/[`AsapSchedule`] tail, or [`FinalCls`](crate::passes::FinalCls)
+    /// followed by [`AsapSchedule`]); otherwise
+    /// [`CompileError::IncompletePipeline`] is returned. Pipelines without a
+    /// [`Route`] pass leave the instructions on logical qubits and report
+    /// identity layouts.
+    pub fn run_pipeline(
+        &self,
+        pipeline: &Pipeline,
+        circuit: &Circuit,
+        options: &CompilerOptions,
+    ) -> Result<CompilationResult, CompileError> {
+        let ctx = PassContext::new(circuit, self.device, self.model, options, self.pool);
+        let state = pipeline.run(&ctx)?;
+        finish(state, options.strategy, circuit.n_qubits())
+    }
+
+    /// Compiles a batch of circuits under one option set, fanning the circuits
+    /// out over the compiler's thread pool — the serving front door for
+    /// many-circuit workloads.
+    ///
+    /// The thread budget is split between the batch fan-out and the pricing
+    /// loops inside each compile, so the nesting never spawns more than
+    /// ~pool-size threads in total. Results are returned in input order and
+    /// are identical to compiling each circuit serially: the models are
+    /// deterministic and the shared latency cache is compute-once per key, so
+    /// a batch warms the cache exactly as the same circuits compiled one by
+    /// one would.
+    pub fn compile_batch(
+        &self,
+        circuits: &[Circuit],
+        options: &CompilerOptions,
+    ) -> Vec<Result<CompilationResult, CompileError>> {
+        if circuits.is_empty() {
+            return Vec::new();
+        }
+        let inner = Compiler {
+            device: self.device,
+            model: self.model,
+            pool: ThreadPool::new((self.pool.threads() / circuits.len()).max(1)),
         };
-        let mut stages = Vec::new();
-        let snapshot = |stage: &str, instrs: &[AggregateInstruction]| StageSnapshot {
-            stage: stage.to_string(),
-            instructions: instrs.len(),
-            gates: instrs.iter().map(|i| i.gate_count()).sum(),
-        };
-
-        // ---- Front end: flatten, then (optionally) detect diagonal blocks.
-        let mut instrs = frontend::lower(circuit);
-        stages.push(snapshot("flatten", &instrs));
-        if strategy.uses_detection() {
-            instrs = frontend::detect_diagonal_blocks(&instrs);
-            stages.push(snapshot("commutativity-detection", &instrs));
-        }
-        if strategy.uses_handopt() {
-            instrs = handopt::rewrite(&instrs);
-            stages.push(snapshot("hand-optimization", &instrs));
-        }
-
-        // Pricing of an instruction *before* aggregation (also used by CLS for
-        // prioritization): gate-based pulse costs.
-        let pre_price = |inst: &AggregateInstruction| -> f64 {
-            if strategy.uses_handopt() {
-                handopt::hand_latency(inst, self.model, &self.device.limits)
-            } else {
-                inst.constituents
-                    .iter()
-                    .map(|g| self.model.isa_gate_latency(g))
-                    .sum()
-            }
-        };
-
-        // ---- Commutativity-aware logical scheduling.
-        //
-        // When aggregation follows, the logical-level CLS is skipped: the
-        // aggregation pass works on program order (its action space follows
-        // per-qubit adjacency), and the commutativity-aware reordering is
-        // applied to the *aggregated* instructions afterwards, which preserves
-        // both benefits (the paper likewise reschedules the aggregated
-        // instructions with CLS before emitting pulses, §3.4.2).
-        if strategy.uses_cls() && !strategy.uses_aggregation() {
-            let lat: Vec<f64> = instrs.iter().map(&pre_price).collect();
-            let result = cls::schedule(&instrs, &lat);
-            instrs = cls::apply_order(&instrs, &result.order);
-            stages.push(snapshot("cls", &instrs));
-        }
-
-        // ---- Mapping and routing.
-        let routed = mapping::map_and_route(&instrs, circuit.n_qubits(), &self.device.topology);
-        let swap_count = routed.swap_count;
-        let initial_layout = routed.initial_layout.clone();
-        let final_layout = routed.final_layout.clone();
-        let mut instrs = routed.instructions;
-        stages.push(snapshot("route", &instrs));
-
-        // ---- Aggregation.
-        let mut agg_stats = AggregationStats::default();
-        let mut priced: Option<Vec<f64>> = None;
-        if strategy.uses_aggregation() {
-            let (aggregated, stats) =
-                aggregate::run_with_pool(&instrs, self.model, &options.aggregation, &pricing_pool);
-            instrs = aggregated;
-            aggregate::finalize_origins(&mut instrs);
-            agg_stats = stats;
-            stages.push(snapshot("aggregation", &instrs));
-            // Re-run CLS on the aggregated instructions for the final schedule,
-            // as the paper does before emitting pulses (§3.4.2).
-            if strategy.uses_cls() {
-                let lat = pricing_pool
-                    .parallel_map(&instrs, |i| self.model.aggregate_latency(&i.constituents));
-                let result = cls::schedule(&instrs, &lat);
-                instrs = cls::apply_order(&instrs, &result.order);
-                // apply_order only permutes instructions; permute their prices
-                // alongside instead of re-querying the model below.
-                priced = Some(result.order.iter().map(|&i| lat[i]).collect());
-                stages.push(snapshot("final-cls", &instrs));
-            }
-        }
-
-        // ---- Final pricing and schedule. Pulse-per-instruction pricing fans
-        // out over the pool (unless final-cls already priced everything); the
-        // gate-based pre-pricing path is cheap arithmetic and stays serial.
-        let latencies = match priced {
-            Some(lat) => lat,
-            None if strategy.pulse_per_instruction() => pricing_pool
-                .parallel_map(&instrs, |inst| {
-                    self.model.aggregate_latency(&inst.constituents)
-                }),
-            None => instrs.iter().map(&pre_price).collect(),
-        };
-        let schedule = asap_schedule(&instrs, &latencies);
-        let total_latency_ns = schedule.makespan;
-
-        CompilationResult {
-            strategy,
-            instructions: instrs,
-            latencies,
-            total_latency_ns,
-            schedule,
-            swap_count,
-            aggregation: agg_stats,
-            stages,
-            initial_layout,
-            final_layout,
-        }
+        self.pool
+            .parallel_map(circuits, |circuit| inner.try_compile(circuit, options))
     }
 
     /// Compiles the circuit under every strategy and returns the results keyed
@@ -393,6 +455,37 @@ impl<'a> Compiler<'a> {
         });
         StrategyComparison { results }
     }
+}
+
+/// Packages a finished [`PassState`] as a [`CompilationResult`].
+fn finish(
+    state: PassState,
+    strategy: Strategy,
+    n_qubits: usize,
+) -> Result<CompilationResult, CompileError> {
+    let latencies = state
+        .latencies
+        .ok_or(CompileError::IncompletePipeline { missing: "price" })?;
+    let schedule = state.schedule.ok_or(CompileError::IncompletePipeline {
+        missing: "schedule",
+    })?;
+    let total_latency_ns = schedule.makespan;
+    Ok(CompilationResult {
+        strategy,
+        instructions: state.instructions,
+        latencies,
+        total_latency_ns,
+        schedule,
+        swap_count: state.swap_count,
+        aggregation: state.aggregation,
+        reports: state.reports,
+        initial_layout: state
+            .initial_layout
+            .unwrap_or_else(|| mapping::Layout::identity(n_qubits)),
+        final_layout: state
+            .final_layout
+            .unwrap_or_else(|| mapping::Layout::identity(n_qubits)),
+    })
 }
 
 /// Results of compiling one circuit under every strategy.
@@ -431,22 +524,11 @@ impl StrategyComparison {
     }
 }
 
-/// Compiles with the default calibrated latency model — the common entry point
-/// for examples and benchmarks. The device is borrowed end-to-end; nothing is
-/// cloned per call.
-pub fn compile_with_default_model(
-    circuit: &Circuit,
-    device: &Device,
-    options: &CompilerOptions,
-) -> CompilationResult {
-    let model = CalibratedLatencyModel::new(device.limits);
-    Compiler::new(device, &model).compile(circuit, options)
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
-    use qcc_hw::Topology;
+    use crate::schedule::asap_schedule;
+    use qcc_hw::{CalibratedLatencyModel, Topology};
     use qcc_ir::Gate;
 
     /// The worked QAOA MAXCUT-on-a-triangle example of §3.1 / Fig. 4, on a
@@ -525,7 +607,97 @@ mod tests {
     }
 
     #[test]
-    fn compilation_reports_stages_and_layouts() {
+    fn preset_pass_sequences_are_pinned() {
+        // Golden recipes: drift in a preset's pass order is an API change and
+        // must show up here, not as an unexplained latency diff.
+        let expected: [(Strategy, &[&str]); 5] = [
+            (
+                Strategy::IsaBaseline,
+                &["flatten", "route", "price", "schedule"],
+            ),
+            (
+                Strategy::Cls,
+                &[
+                    "flatten",
+                    "commutativity-detection",
+                    "cls",
+                    "route",
+                    "price",
+                    "schedule",
+                ],
+            ),
+            (
+                Strategy::AggregationOnly,
+                &[
+                    "flatten",
+                    "commutativity-detection",
+                    "route",
+                    "aggregation",
+                    "price",
+                    "schedule",
+                ],
+            ),
+            (
+                Strategy::ClsAggregation,
+                &[
+                    "flatten",
+                    "commutativity-detection",
+                    "route",
+                    "aggregation",
+                    "final-cls",
+                    "price",
+                    "schedule",
+                ],
+            ),
+            (
+                Strategy::ClsHandOptimized,
+                &[
+                    "flatten",
+                    "commutativity-detection",
+                    "hand-optimization",
+                    "cls",
+                    "route",
+                    "price",
+                    "schedule",
+                ],
+            ),
+        ];
+        for (strategy, names) in expected {
+            assert_eq!(
+                strategy.pipeline().pass_names(),
+                names,
+                "{strategy:?} recipe drifted"
+            );
+        }
+    }
+
+    #[test]
+    fn strategy_display_and_fromstr_round_trip() {
+        for strategy in Strategy::all() {
+            let rendered = strategy.to_string();
+            assert_eq!(rendered, strategy.name());
+            assert_eq!(
+                rendered.parse::<Strategy>().unwrap(),
+                strategy,
+                "{rendered}"
+            );
+        }
+        assert_eq!(
+            "cls+aggregation".parse::<Strategy>(),
+            Ok(Strategy::ClsAggregation)
+        );
+        assert_eq!(" ISA ".parse::<Strategy>(), Ok(Strategy::IsaBaseline));
+        assert_eq!("agg".parse::<Strategy>(), Ok(Strategy::AggregationOnly));
+        assert_eq!(
+            "handopt".parse::<Strategy>(),
+            Ok(Strategy::ClsHandOptimized)
+        );
+        let err = "warp-drive".parse::<Strategy>().unwrap_err();
+        assert!(err.to_string().contains("warp-drive"));
+    }
+
+    #[test]
+    fn compilation_reports_every_pass_with_timing() {
         let model = CalibratedLatencyModel::asplos19();
         let device = line_device();
         let compiler = Compiler::new(&device, &model);
@@ -533,17 +705,23 @@ mod tests {
             &qaoa_triangle(),
             &CompilerOptions::strategy(Strategy::ClsAggregation),
         );
-        let stage_names: Vec<&str> = r.stages.iter().map(|s| s.stage.as_str()).collect();
-        assert!(stage_names.contains(&"flatten"));
-        assert!(stage_names.contains(&"commutativity-detection"));
-        assert!(stage_names.contains(&"route"));
-        assert!(stage_names.contains(&"aggregation"));
+        // One report per pass of the preset, in execution order.
+        let names: Vec<&str> = r.reports.iter().map(|s| s.pass).collect();
+        assert_eq!(
+            names,
+            Strategy::ClsAggregation.pipeline().pass_names(),
+            "reports must mirror the recipe"
+        );
+        assert!(r.report("flatten").is_some());
+        assert!(r.report("aggregation").is_some());
+        assert!(r.report("nonexistent").is_none());
+        assert!(r.total_pass_time() > std::time::Duration::ZERO);
         // With aggregation enabled the commutativity-aware reordering runs on
         // the aggregated instructions ("final-cls"); without it, as "cls".
-        assert!(stage_names.contains(&"final-cls"));
         let cls_only =
             compiler.compile(&qaoa_triangle(), &CompilerOptions::strategy(Strategy::Cls));
-        assert!(cls_only.stages.iter().any(|s| s.stage == "cls"));
+        assert!(cls_only.report("cls").is_some());
+        assert!(cls_only.report("final-cls").is_none());
         assert_eq!(r.initial_layout.len(), 3);
         assert_eq!(r.final_layout.len(), 3);
         assert!(r.swap_count >= 1, "the triangle on a line needs a SWAP");
@@ -574,5 +752,118 @@ mod tests {
         let wide = compiler.compile(&qaoa_triangle(), &CompilerOptions::with_width(10));
         assert!(wide.total_latency_ns <= narrow.total_latency_ns + 1e-9);
         assert!(narrow.instructions.iter().all(|i| i.width() <= 2));
+    }
+
+    #[test]
+    fn try_compile_reports_undersized_devices_instead_of_panicking() {
+        let model = CalibratedLatencyModel::asplos19();
+        let device = Device::transmon(Topology::Linear(2));
+        let compiler = Compiler::new(&device, &model);
+        let err = compiler
+            .try_compile(
+                &qaoa_triangle(),
+                &CompilerOptions::strategy(Strategy::IsaBaseline),
+            )
+            .unwrap_err();
+        assert_eq!(
+            err,
+            CompileError::DeviceTooSmall {
+                needed: 3,
+                available: 2
+            }
+        );
+    }
+
+    #[test]
+    fn incomplete_custom_pipelines_are_reported() {
+        let model = CalibratedLatencyModel::asplos19();
+        let device = line_device();
+        let compiler = Compiler::new(&device, &model);
+        let options = CompilerOptions::default();
+
+        // Scheduling before pricing: the schedule pass itself objects.
+        let unpriced_schedule = PipelineBuilder::new()
+            .add(Flatten)
+            .add(AsapSchedule)
+            .build();
+        assert_eq!(
+            compiler
+                .run_pipeline(&unpriced_schedule, &qaoa_triangle(), &options)
+                .unwrap_err(),
+            CompileError::MissingLatencies { pass: "schedule" }
+        );
+
+        // No schedule pass at all: the driver notices at packaging time.
+        let unscheduled = PipelineBuilder::new()
+            .add(Flatten)
+            .add(Price::per_gate(GatePricing::Isa))
+            .build();
+        assert_eq!(
+            compiler
+                .run_pipeline(&unscheduled, &qaoa_triangle(), &options)
+                .unwrap_err(),
+            CompileError::IncompletePipeline {
+                missing: "schedule"
+            }
+        );
+    }
+
+    #[test]
+    fn mutating_passes_invalidate_stale_prices() {
+        let model = CalibratedLatencyModel::asplos19();
+        let device = line_device();
+        let compiler = Compiler::new(&device, &model);
+        let options = CompilerOptions::default();
+
+        // Pricing before a mutating pass must never let the stale vector reach
+        // the scheduler (Route inserts SWAPs, Cls reorders): the schedule pass
+        // reports the missing prices instead of panicking or silently pairing
+        // instructions with another instruction's latency.
+        for mutated in [
+            PipelineBuilder::new()
+                .add(Flatten)
+                .add(Price::per_gate(GatePricing::Isa))
+                .add(Route)
+                .add(AsapSchedule)
+                .build(),
+            PipelineBuilder::new()
+                .add(Flatten)
+                .add(DetectDiagonalBlocks)
+                .add(Price::per_gate(GatePricing::Isa))
+                .add(Cls::default())
+                .add(AsapSchedule)
+                .build(),
+        ] {
+            assert_eq!(
+                compiler
+                    .run_pipeline(&mutated, &qaoa_triangle(), &options)
+                    .unwrap_err(),
+                CompileError::MissingLatencies { pass: "schedule" },
+                "{mutated:?}"
+            );
+        }
+
+        // Re-pricing after the mutation recovers, and the fresh vector covers
+        // the rewritten stream (including the inserted SWAPs).
+        let repriced = PipelineBuilder::new()
+            .add(Flatten)
+            .add(Price::per_gate(GatePricing::Isa))
+            .add(Route)
+            .add(Price::per_gate(GatePricing::Isa))
+            .add(AsapSchedule)
+            .build();
+        let r = compiler
+            .run_pipeline(&repriced, &qaoa_triangle(), &options)
+            .unwrap();
+        assert_eq!(r.latencies.len(), r.instructions.len());
+        let reference = compiler.compile(
+            &qaoa_triangle(),
+            &CompilerOptions::strategy(Strategy::IsaBaseline),
+        );
+        assert_eq!(
+            r.total_latency_ns.to_bits(),
+            reference.total_latency_ns.to_bits(),
+            "redundant early pricing must not change the result"
+        );
     }
 }

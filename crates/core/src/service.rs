@@ -1,0 +1,209 @@
+//! The serving front door: an owning [`CompileService`] around the borrowing
+//! [`Compiler`], plus the shared default-model cache behind
+//! [`compile_with_default_model`].
+
+use crate::passes::CompileError;
+use crate::pipeline::{CompilationResult, Compiler, CompilerOptions};
+use qcc_hw::{CalibratedLatencyModel, ControlLimits, Device, LatencyModel};
+use qcc_ir::Circuit;
+use std::sync::Mutex;
+use threadpool::ThreadPool;
+
+/// An owning compilation service: device reference, latency model, and thread
+/// pool bundled behind one front door.
+///
+/// [`Compiler`] borrows its model, which is the right shape for benchmarks
+/// that manage model lifetimes themselves but awkward for serving: a caller
+/// that just wants "compile these circuits on this device" should not have to
+/// keep a model alive alongside the compiler. `CompileService` owns the model
+/// (constructed **once**, so model-internal caches — e.g. the sharded GRAPE
+/// latency cache — stay warm across requests) and exposes the batch and
+/// single-circuit entry points.
+///
+/// ```
+/// use qcc_core::{CompileService, CompilerOptions, Strategy};
+/// use qcc_hw::Device;
+/// use qcc_ir::{Circuit, Gate};
+///
+/// let device = Device::transmon_line(2);
+/// let service = CompileService::new(&device);
+/// let mut circuit = Circuit::new(2);
+/// circuit.push(Gate::H, &[0]);
+/// circuit.push(Gate::Cnot, &[0, 1]);
+/// let batch = vec![circuit.clone(), circuit];
+/// let results = service.compile_batch(&batch, &CompilerOptions::strategy(Strategy::Cls));
+/// assert_eq!(results.len(), 2);
+/// assert!(results.iter().all(|r| r.is_ok()));
+/// ```
+pub struct CompileService<'d> {
+    device: &'d Device,
+    model: Box<dyn LatencyModel + 'd>,
+    pool: ThreadPool,
+}
+
+impl<'d> CompileService<'d> {
+    /// A service over the device with the default [`CalibratedLatencyModel`]
+    /// for its control limits. The model is built here, once, and serves every
+    /// subsequent compile.
+    pub fn new(device: &'d Device) -> Self {
+        Self::with_model(device, Box::new(CalibratedLatencyModel::new(device.limits)))
+    }
+
+    /// A service using a caller-supplied latency model (e.g. the GRAPE
+    /// optimal-control unit).
+    pub fn with_model(device: &'d Device, model: Box<dyn LatencyModel + 'd>) -> Self {
+        Self {
+            device,
+            model,
+            pool: ThreadPool::with_default_parallelism(),
+        }
+    }
+
+    /// Sets the number of threads used for batch fan-out and parallel pricing
+    /// (1 = serial).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.pool = ThreadPool::new(threads);
+        self
+    }
+
+    /// The device this service compiles for.
+    pub fn device(&self) -> &Device {
+        self.device
+    }
+
+    /// A borrowing [`Compiler`] over this service's device, model, and pool —
+    /// for APIs the service does not mirror (custom pipelines via
+    /// [`Compiler::run_pipeline`], strategy comparisons).
+    pub fn compiler(&self) -> Compiler<'_> {
+        Compiler::new(self.device, self.model.as_ref()).with_threads(self.pool.threads())
+    }
+
+    /// Compiles one circuit.
+    pub fn compile(
+        &self,
+        circuit: &Circuit,
+        options: &CompilerOptions,
+    ) -> Result<CompilationResult, CompileError> {
+        self.compiler().try_compile(circuit, options)
+    }
+
+    /// Compiles a batch of circuits, fanning out over the service's pool; see
+    /// [`Compiler::compile_batch`] for the determinism and thread-budget
+    /// guarantees.
+    pub fn compile_batch(
+        &self,
+        circuits: &[Circuit],
+        options: &CompilerOptions,
+    ) -> Vec<Result<CompilationResult, CompileError>> {
+        self.compiler().compile_batch(circuits, options)
+    }
+}
+
+/// Process-wide cache of default calibrated models, one per distinct
+/// [`ControlLimits`]. Entries are leaked intentionally: a process sees a
+/// handful of distinct limit sets at most, and `'static` references let every
+/// call share one model instead of constructing a fresh one.
+fn shared_default_model(limits: ControlLimits) -> &'static CalibratedLatencyModel {
+    static MODELS: Mutex<Vec<(ControlLimits, &'static CalibratedLatencyModel)>> =
+        Mutex::new(Vec::new());
+    let mut models = MODELS.lock().expect("default-model cache poisoned");
+    if let Some((_, model)) = models.iter().find(|(l, _)| *l == limits) {
+        return model;
+    }
+    let model: &'static CalibratedLatencyModel =
+        Box::leak(Box::new(CalibratedLatencyModel::new(limits)));
+    models.push((limits, model));
+    model
+}
+
+/// Compiles with the default calibrated latency model — the historical
+/// convenience entry point for examples and benchmarks.
+///
+/// The model is served from a process-wide cache keyed by the device's control
+/// limits, so repeated calls share one model instance instead of constructing
+/// a fresh `CalibratedLatencyModel` per call (the pre-pipeline behavior).
+///
+/// # Migration
+///
+/// New code should prefer one of the pass-pipeline front doors:
+/// [`CompileService::new`] when you want an owning handle that also serves
+/// batches ([`CompileService::compile_batch`]), or [`Compiler::new`] with an
+/// explicit model when you manage model lifetimes yourself (required for the
+/// GRAPE model, whose cache instrumentation you may want to inspect). This
+/// function remains for single-shot convenience and compiles exactly like
+/// `CompileService::new(device).compile(..)`.
+///
+/// # Panics
+///
+/// Panics if the circuit needs more qubits than the device provides (it wraps
+/// [`Compiler::compile`]).
+pub fn compile_with_default_model(
+    circuit: &Circuit,
+    device: &Device,
+    options: &CompilerOptions,
+) -> CompilationResult {
+    let model = shared_default_model(device.limits);
+    Compiler::new(device, model).compile(circuit, options)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::Strategy;
+    use qcc_ir::Gate;
+
+    fn toy() -> Circuit {
+        let mut c = Circuit::new(2);
+        c.push(Gate::H, &[0]);
+        c.push(Gate::Cnot, &[0, 1]);
+        c.push(Gate::Rz(0.5), &[1]);
+        c.push(Gate::Cnot, &[0, 1]);
+        c
+    }
+
+    #[test]
+    fn shared_default_model_is_cached_per_limits() {
+        let a = shared_default_model(ControlLimits::asplos19());
+        let b = shared_default_model(ControlLimits::asplos19());
+        assert!(std::ptr::eq(a, b), "same limits must share one model");
+    }
+
+    #[test]
+    fn service_matches_the_borrowing_compiler() {
+        let device = Device::transmon_line(2);
+        let service = CompileService::new(&device);
+        let options = CompilerOptions::strategy(Strategy::ClsAggregation);
+        let via_service = service.compile(&toy(), &options).unwrap();
+        let via_fn = compile_with_default_model(&toy(), &device, &options);
+        assert_eq!(
+            via_service.total_latency_ns.to_bits(),
+            via_fn.total_latency_ns.to_bits()
+        );
+    }
+
+    #[test]
+    fn service_rejects_oversized_circuits_gracefully() {
+        let device = Device::transmon_line(2);
+        let service = CompileService::new(&device);
+        let big = Circuit::new(5);
+        let err = service
+            .compile(&big, &CompilerOptions::strategy(Strategy::IsaBaseline))
+            .unwrap_err();
+        assert_eq!(
+            err,
+            CompileError::DeviceTooSmall {
+                needed: 5,
+                available: 2
+            }
+        );
+    }
+
+    #[test]
+    fn empty_batch_returns_no_results() {
+        let device = Device::transmon_line(2);
+        let service = CompileService::new(&device);
+        assert!(service
+            .compile_batch(&[], &CompilerOptions::default())
+            .is_empty());
+    }
+}

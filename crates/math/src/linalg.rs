@@ -1,7 +1,7 @@
 //! Dense linear solvers: LU decomposition with partial pivoting, linear solves,
 //! matrix inversion, and determinants for complex matrices.
 //!
-//! These are needed by the Padé matrix exponential ([`crate::expm`]) and by the
+//! These are needed by the Padé matrix exponential ([`crate::expm::expm`]) and by the
 //! optimal-control unit's diagnostics.
 
 use crate::complex::C64;

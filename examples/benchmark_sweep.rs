@@ -4,9 +4,11 @@
 //!
 //! Run with `cargo run --release --example benchmark_sweep`. Defaults to the
 //! reduced-size suite; set `QCC_BENCH_SCALE=full` for the paper's full sizes.
+//! Set `QCC_STRATEGY=<name>` (e.g. `cls`, `cls+aggregation` — any name
+//! `Strategy::from_str` accepts) to sweep a single strategy normalized against
+//! the always-included ISA baseline, with no code edits.
 
-use qcc::compiler::{AggregationOptions, Compiler, CompilerOptions, Strategy};
-use qcc::hw::{CalibratedLatencyModel, Device};
+use qcc::compiler::{AggregationOptions, CompileService, CompilerOptions, Strategy};
 use qcc::workloads::{standard_suite, SuiteScale};
 
 fn main() {
@@ -14,37 +16,60 @@ fn main() {
         Ok(v) if v.trim().eq_ignore_ascii_case("full") => SuiteScale::Full,
         _ => SuiteScale::Reduced,
     };
+    // The reported strategies: the QCC_STRATEGY override, or the classic
+    // ISA / CLS / CLS+Aggregation sweep. The baseline always compiles so the
+    // other columns can be normalized to it.
+    let reported: Vec<Strategy> = match std::env::var("QCC_STRATEGY") {
+        Ok(v) if !v.trim().is_empty() => {
+            let chosen: Strategy = v
+                .parse()
+                .unwrap_or_else(|e| panic!("invalid QCC_STRATEGY: {e}"));
+            vec![chosen]
+        }
+        _ => vec![Strategy::Cls, Strategy::ClsAggregation],
+    };
+
     let suite = standard_suite(scale, 7);
-    println!(
-        "{:<16} {:>7} {:>7} {:>8} {:>8} {:>8} {:>8}",
-        "benchmark", "qubits", "gates", "ISA(ns)", "CLS", "CLS+Agg", "swaps"
+    print!(
+        "{:<16} {:>7} {:>7} {:>9}",
+        "benchmark", "qubits", "gates", "ISA(ns)"
     );
+    for s in &reported {
+        print!(" {:>16}", s.name());
+    }
+    println!(" {:>6}", "swaps");
+
     for bench in &suite {
-        let device = Device::transmon_grid(bench.circuit.n_qubits());
-        let model = CalibratedLatencyModel::new(device.limits);
-        let compiler = Compiler::new(&device, &model);
-        let isa = compiler.compile(
-            &bench.circuit,
-            &CompilerOptions::strategy(Strategy::IsaBaseline),
-        );
-        let cls = compiler.compile(&bench.circuit, &CompilerOptions::strategy(Strategy::Cls));
-        let full = compiler.compile(
-            &bench.circuit,
-            &CompilerOptions {
-                strategy: Strategy::ClsAggregation,
-                aggregation: AggregationOptions::with_width(10),
-            },
-        );
-        println!(
-            "{:<16} {:>7} {:>7} {:>8.0} {:>8.3} {:>8.3} {:>8}",
+        let device = qcc::hw::Device::transmon_grid(bench.circuit.n_qubits());
+        let service = CompileService::new(&device);
+        let isa = service
+            .compile(
+                &bench.circuit,
+                &CompilerOptions::strategy(Strategy::IsaBaseline),
+            )
+            .expect("device sized for benchmark");
+        print!(
+            "{:<16} {:>7} {:>7} {:>9.0}",
             bench.name,
             bench.n_qubits(),
             bench.gate_count(),
             isa.total_latency_ns,
-            cls.total_latency_ns / isa.total_latency_ns,
-            full.total_latency_ns / isa.total_latency_ns,
-            full.swap_count,
         );
+        let mut swaps = isa.swap_count;
+        for &strategy in &reported {
+            let r = service
+                .compile(
+                    &bench.circuit,
+                    &CompilerOptions {
+                        strategy,
+                        aggregation: AggregationOptions::with_width(10),
+                    },
+                )
+                .expect("device sized for benchmark");
+            swaps = r.swap_count;
+            print!(" {:>16.3}", r.total_latency_ns / isa.total_latency_ns);
+        }
+        println!(" {:>6}", swaps);
     }
     println!("\nLower is better (normalized to the gate-based ISA baseline).");
 }

@@ -38,11 +38,21 @@ fn main() {
         );
     }
 
-    // Verify that the full flow preserved the circuit semantics.
+    // The full flow again, with its per-pass breakdown (instruction counts
+    // after each pass of the preset recipe, plus wall-clock timing).
     let result = compiler.compile(
         &circuit,
         &CompilerOptions::strategy(Strategy::ClsAggregation),
     );
+    println!("\nPass pipeline of {}:", result.strategy.name());
+    for report in &result.reports {
+        println!(
+            "  {:<24} {:>4} instrs {:>4} gates  {:>9.1?}",
+            report.pass, report.instructions, report.gates, report.wall_time
+        );
+    }
+
+    // Verify that the full flow preserved the circuit semantics.
     let check = qcc::compiler::verify_compilation(&circuit, &result);
     println!(
         "\nSemantic verification of CLS+Aggregation: {}",

@@ -12,7 +12,9 @@
 //! * [`sim`] — state-vector simulation and pulse propagation (verification);
 //! * [`hw`] — device topologies, control limits, latency models;
 //! * [`control`] — the GRAPE optimal-control unit;
-//! * [`compiler`] — the aggregated-instruction compilation pipeline itself;
+//! * [`compiler`] — the aggregated-instruction compilation pipeline itself: a
+//!   composable pass pipeline (`compiler::passes`), `Strategy` preset recipes,
+//!   and the batch `CompileService` front door;
 //! * [`workloads`] — the Table 3 benchmark generators.
 //!
 //! ## Quick start

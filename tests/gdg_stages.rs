@@ -19,10 +19,8 @@ fn stage_snapshots_follow_fig6() {
 
     let stage = |name: &str| {
         result
-            .stages
-            .iter()
-            .find(|s| s.stage == name)
-            .unwrap_or_else(|| panic!("missing stage {name}"))
+            .report(name)
+            .unwrap_or_else(|| panic!("missing pass report {name}"))
     };
 
     // Fig. 6a → 6b: detection contracts the three CNOT–Rz–CNOT structures, so

@@ -1,0 +1,102 @@
+//! Direct coverage of the `CompilationResult` report helpers
+//! (`width_histogram`, `aggregated_instruction_count`,
+//! `critical_path_latency_band`), which the figure benches exercise only
+//! incidentally.
+
+use qcc::compiler::{AggregationOptions, CompilerOptions, Strategy};
+use qcc::compiler::{CompilationResult, CompileService};
+use qcc::hw::Device;
+use qcc::ir::Circuit;
+use qcc::workloads::{qaoa, uccsd};
+
+fn compile(circuit: &Circuit, strategy: Strategy, width: usize) -> CompilationResult {
+    let device = Device::transmon_grid(circuit.n_qubits());
+    let service = CompileService::new(&device);
+    service
+        .compile(
+            circuit,
+            &CompilerOptions {
+                strategy,
+                aggregation: AggregationOptions::with_width(width),
+            },
+        )
+        .expect("grid device fits the circuit")
+}
+
+#[test]
+fn width_histogram_counts_every_instruction_and_respects_the_limit() {
+    let circuit = uccsd::uccsd_benchmark(4);
+    for width in [2, 4] {
+        let r = compile(&circuit, Strategy::ClsAggregation, width);
+        let hist = r.width_histogram();
+        assert_eq!(
+            hist.values().sum::<usize>(),
+            r.instructions.len(),
+            "histogram must partition the instruction stream"
+        );
+        assert!(
+            hist.keys().all(|&w| w >= 1 && w <= width),
+            "no instruction may exceed the width limit {width}: {hist:?}"
+        );
+        for (&w, &count) in &hist {
+            assert_eq!(
+                r.instructions.iter().filter(|i| i.width() == w).count(),
+                count,
+                "histogram bucket {w} miscounts"
+            );
+        }
+    }
+}
+
+#[test]
+fn unaggregated_strategies_report_singleton_widths_and_no_aggregates() {
+    let circuit = qaoa::maxcut_line(6);
+    let r = compile(&circuit, Strategy::IsaBaseline, 10);
+    // The ISA baseline never merges: every instruction is a single gate, so
+    // the aggregate count is zero and the histogram holds widths 1 and 2 only.
+    assert_eq!(r.aggregated_instruction_count(), 0);
+    let hist = r.width_histogram();
+    assert!(hist.keys().all(|&w| w == 1 || w == 2), "{hist:?}");
+    assert!(hist.contains_key(&1) && hist.contains_key(&2));
+}
+
+#[test]
+fn aggregated_instruction_count_matches_a_manual_scan() {
+    let circuit = qaoa::maxcut_line(6);
+    let r = compile(&circuit, Strategy::ClsAggregation, 10);
+    let manual = r.instructions.iter().filter(|i| i.gate_count() > 1).count();
+    assert_eq!(r.aggregated_instruction_count(), manual);
+    assert!(manual > 0, "MAXCUT must aggregate something");
+    // Consistency with the aggregation statistics: merges happened.
+    assert!(r.aggregation.merges > 0 || r.aggregated_instruction_count() > 0);
+}
+
+#[test]
+fn critical_path_band_brackets_the_observed_latencies() {
+    let circuit = qaoa::maxcut_line(6);
+    for strategy in Strategy::all() {
+        let r = compile(&circuit, strategy, 10);
+        let (min, max) = r
+            .critical_path_latency_band()
+            .expect("non-empty schedule has a critical path");
+        assert!(min <= max, "{strategy:?}: band inverted ({min}, {max})");
+        let observed_max = r.latencies.iter().cloned().fold(0.0f64, f64::max);
+        assert!(
+            max <= observed_max + 1e-12,
+            "{strategy:?}: band max {max} exceeds any latency {observed_max}"
+        );
+        assert!(
+            min >= 0.0 && max <= r.total_latency_ns + 1e-9,
+            "{strategy:?}: no single instruction outlasts the schedule"
+        );
+    }
+}
+
+#[test]
+fn critical_path_band_is_none_for_an_empty_program() {
+    let r = compile(&Circuit::new(2), Strategy::IsaBaseline, 10);
+    assert!(r.instructions.is_empty());
+    assert_eq!(r.critical_path_latency_band(), None);
+    assert!(r.width_histogram().is_empty());
+    assert_eq!(r.aggregated_instruction_count(), 0);
+}

@@ -69,7 +69,8 @@ impl ThreadPool {
     ///
     /// # Panics
     ///
-    /// Propagates a panic from `f` after all workers have stopped.
+    /// Propagates a panic from `f` after all workers have stopped, re-raising
+    /// the original payload (so the caller sees the real panic message).
     pub fn parallel_map<T, R, F>(&self, items: &[T], f: F) -> Vec<R>
     where
         T: Sync,
@@ -99,7 +100,13 @@ impl ThreadPool {
                 .collect();
             handles
                 .into_iter()
-                .map(|h| h.join().expect("pool worker panicked"))
+                .map(|h| {
+                    // Re-raise a worker panic with its original payload so the
+                    // caller sees the real message (e.g. a compile error), not
+                    // a generic "worker panicked" wrapper.
+                    h.join()
+                        .unwrap_or_else(|payload| std::panic::resume_unwind(payload))
+                })
                 .collect()
         });
         let mut out: Vec<Option<R>> = std::iter::repeat_with(|| None).take(items.len()).collect();
@@ -172,6 +179,25 @@ mod tests {
         let empty: Vec<u32> = Vec::new();
         assert!(pool.parallel_map(&empty, |&x| x).is_empty());
         assert_eq!(pool.parallel_map(&[7u32], |&x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn worker_panics_propagate_with_their_original_payload() {
+        let pool = ThreadPool::new(2);
+        let items: Vec<u32> = (0..8).collect();
+        let payload = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.parallel_map(&items, |&x| {
+                if x == 3 {
+                    panic!("boom {x}");
+                }
+                x
+            })
+        }))
+        .unwrap_err();
+        let msg = payload
+            .downcast_ref::<String>()
+            .expect("payload is the formatted panic message");
+        assert_eq!(msg, "boom 3");
     }
 
     #[test]
