@@ -4,8 +4,8 @@
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use qcc_control::GrapeLatencyModel;
 use qcc_core::{
-    cls, frontend, mapping, AggregateInstruction, AggregationOptions, Compiler, CompilerOptions,
-    Strategy,
+    aggregate, cls, frontend, mapping, AggregateInstruction, AggregationOptions, Compiler,
+    CompilerOptions, Strategy,
 };
 use qcc_hw::{CalibratedLatencyModel, Device, LatencyModel};
 use qcc_ir::Instruction;
@@ -78,15 +78,16 @@ impl LatencyModel for SingleMutexModel<'_> {
     }
 }
 
-fn bench_parallel_pricing(c: &mut Criterion) {
-    // A ≥16-instruction aggregated program whose pricing goes through the real
-    // GRAPE unit: MAXCUT on a 12-qubit line, aggregated at width 2 so every
-    // instruction fits the fast two-qubit control profile.
+/// The routed, width-2-aggregated 12-qubit MAXCUT program (≈46 routed
+/// instructions before aggregation) shared by the pricing and
+/// aggregation-search benches: every instruction fits the fast two-qubit
+/// GRAPE control profile.
+fn routed_width2_program() -> Vec<AggregateInstruction> {
     let circuit = qaoa::maxcut_line(12);
     let device = Device::transmon_line(12);
     let model = CalibratedLatencyModel::new(device.limits);
     let compiler = Compiler::new(&device, &model);
-    let program: Vec<AggregateInstruction> = compiler
+    compiler
         .compile(
             &circuit,
             &CompilerOptions {
@@ -94,7 +95,13 @@ fn bench_parallel_pricing(c: &mut Criterion) {
                 aggregation: AggregationOptions::with_width(2),
             },
         )
-        .instructions;
+        .instructions
+}
+
+fn bench_parallel_pricing(c: &mut Criterion) {
+    // A ≥16-instruction aggregated program whose pricing goes through the real
+    // GRAPE unit.
+    let program = routed_width2_program();
     assert!(
         program.len() >= 16,
         "pricing bench needs a ≥16-instruction program, got {}",
@@ -154,9 +161,48 @@ fn bench_parallel_pricing(c: &mut Criterion) {
     );
 }
 
+fn bench_aggregation_search(c: &mut Criterion) {
+    // The aggregation *search* through the real GRAPE unit, serial vs
+    // speculative: the routed (pre-aggregation) 12-qubit MAXCUT stream at
+    // width 2, searched with a cold model each iteration so every candidate
+    // is an actual solve. One thread runs the legacy serial loop; 4 and 8
+    // run the speculative evaluator, which must win wall-clock while staying
+    // bit-identical (pinned by `tests/aggregation_equivalence.rs`).
+    let circuit = qaoa::maxcut_line(12);
+    let routed = mapping::map_and_route(
+        &frontend::run(&circuit),
+        circuit.n_qubits(),
+        &qcc_hw::Topology::Linear(12),
+    )
+    .instructions;
+    let options = AggregationOptions::with_width(2);
+    for threads in [1usize, 4, 8] {
+        let mode = if threads == 1 {
+            "serial"
+        } else {
+            "speculative"
+        };
+        c.bench_function(
+            &format!(
+                "aggregation search: {} routed instrs, GRAPE-priced, {mode} ({threads} thread{})",
+                routed.len(),
+                if threads == 1 { "" } else { "s" }
+            ),
+            |b| {
+                b.iter(|| {
+                    let grape = GrapeLatencyModel::fast_two_qubit();
+                    let pool = ThreadPool::new(threads);
+                    black_box(aggregate::run_with_pool(&routed, &grape, &options, &pool))
+                })
+            },
+        );
+    }
+}
+
 criterion_group!(
     name = passes;
     config = Criterion::default().sample_size(10);
-    targets = bench_frontend, bench_cls, bench_mapping, bench_full_pipeline, bench_parallel_pricing
+    targets = bench_frontend, bench_cls, bench_mapping, bench_full_pipeline,
+        bench_parallel_pricing, bench_aggregation_search
 );
 criterion_main!(passes);

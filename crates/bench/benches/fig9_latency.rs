@@ -9,7 +9,7 @@
 
 use qcc_bench::{
     all_strategy_latencies, banner, geometric_mean, render_table, scale_from_env,
-    strategies_from_env,
+    strategies_from_env, write_bench_json,
 };
 use qcc_core::Strategy;
 use qcc_workloads::standard_suite;
@@ -67,6 +67,9 @@ fn main() {
     let mut headers: Vec<&str> = vec!["benchmark", "ISA latency (ns)"];
     headers.extend(reported.iter().map(|s| s.name()));
     println!("{}", render_table(&headers, &rows));
+
+    // Machine-readable per-strategy compile timings (QCC_BENCH_JSON).
+    write_bench_json("fig9_latency");
 
     if !full_sweep {
         println!("(QCC_STRATEGY set — §6.4 encoding comparison skipped)");

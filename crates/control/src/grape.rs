@@ -10,7 +10,7 @@
 
 use crate::hamiltonian::TransmonSystem;
 use crate::pulse::PulseProgram;
-use qcc_math::{expm, gate_fidelity, CMatrix, C64};
+use qcc_math::{expm, gate_fidelity, CMatrix, ExpmWorkspace, C64};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
@@ -122,10 +122,15 @@ impl GrapeOptimizer {
         let mut best_pulse = pulse.clone();
         let mut best_fid = 0.0;
         let mut iterations = 0;
+        // One workspace (propagators, partial products, expm scratch, the
+        // target adjoint) serves every gradient iteration of this run — the
+        // per-iteration matrix churn of the old code was the dominant
+        // allocation cost of a GRAPE solve.
+        let mut ws = GradientWorkspace::for_target(target);
 
         for iter in 0..cfg.max_iterations {
             iterations = iter + 1;
-            let (fidelity, gradient) = fidelity_and_gradient(system, target, &pulse);
+            let (fidelity, gradient) = fidelity_and_gradient_with(system, target, &pulse, &mut ws);
             if fidelity > best_fid {
                 best_fid = fidelity;
                 best_pulse = pulse.clone();
@@ -210,41 +215,104 @@ impl GrapeOptimizer {
     }
 }
 
+/// Reusable buffers of one GRAPE run: the per-step propagators, the
+/// forward/backward partial products, the expm scratch, the target adjoint,
+/// and the two per-step products of the gradient loop. Allocated once per
+/// [`GrapeOptimizer::optimize`] call and reused across all of its gradient
+/// iterations (up to `max_iterations` of them), instead of reallocating
+/// `3·n_steps + ~12` matrices every iteration as the per-call version did.
+#[derive(Debug, Default)]
+struct GradientWorkspace {
+    expm: ExpmWorkspace,
+    step_props: Vec<CMatrix>,
+    forward: Vec<CMatrix>,
+    backward: Vec<CMatrix>,
+    total: CMatrix,
+    scaled_h: CMatrix,
+    c_j: CMatrix,
+    pc: CMatrix,
+    target_dag: CMatrix,
+    id: CMatrix,
+}
+
+impl GradientWorkspace {
+    /// A workspace with the target adjoint (constant across iterations)
+    /// precomputed.
+    fn for_target(target: &CMatrix) -> Self {
+        Self {
+            target_dag: target.dagger(),
+            ..Self::default()
+        }
+    }
+
+    /// Shapes the per-step buffer vectors for `n_steps` steps of dimension
+    /// `dim` (no-op when already shaped).
+    fn ensure(&mut self, n_steps: usize, dim: usize) {
+        self.step_props.resize_with(n_steps, CMatrix::default);
+        self.forward.resize_with(n_steps, CMatrix::default);
+        self.backward.resize_with(n_steps, CMatrix::default);
+        if self.id.rows() != dim {
+            self.id = CMatrix::identity(dim);
+        }
+    }
+}
+
 /// Computes the gate fidelity of the pulse and its gradient with respect to
-/// every amplitude, using the first-order GRAPE expressions.
+/// every amplitude, using the first-order GRAPE expressions. (The optimizer
+/// itself goes through [`fidelity_and_gradient_with`] to reuse buffers; this
+/// fresh-workspace wrapper serves the finite-difference test.)
+#[cfg(test)]
 fn fidelity_and_gradient(
     system: &TransmonSystem,
     target: &CMatrix,
     pulse: &PulseProgram,
+) -> (f64, Vec<Vec<f64>>) {
+    fidelity_and_gradient_with(
+        system,
+        target,
+        pulse,
+        &mut GradientWorkspace::for_target(target),
+    )
+}
+
+/// [`fidelity_and_gradient`] against a reusable [`GradientWorkspace`] —
+/// `ws.target_dag` must be the adjoint of `target` (use
+/// [`GradientWorkspace::for_target`]).
+fn fidelity_and_gradient_with(
+    system: &TransmonSystem,
+    target: &CMatrix,
+    pulse: &PulseProgram,
+    ws: &mut GradientWorkspace,
 ) -> (f64, Vec<Vec<f64>>) {
     let n_steps = pulse.n_steps();
     let n_controls = system.n_controls();
     let dim = system.dim();
     let d = dim as f64;
     let two_pi_dt = 2.0 * std::f64::consts::PI * pulse.dt;
+    ws.ensure(n_steps, dim);
 
     // Step propagators and forward partial products P_j = U_j … U_1.
-    let mut step_props = Vec::with_capacity(n_steps);
-    for amps in &pulse.amplitudes {
+    for (j, amps) in pulse.amplitudes.iter().enumerate() {
         let h = system.hamiltonian(amps);
-        step_props.push(expm::expm(&h.scale(C64::new(0.0, -two_pi_dt))));
+        ws.scaled_h.scale_into(&h, C64::new(0.0, -two_pi_dt));
+        ws.step_props[j] = expm::expm_with(&ws.scaled_h, &mut ws.expm);
     }
-    let mut forward = Vec::with_capacity(n_steps);
-    let mut acc = CMatrix::identity(dim);
-    for u in &step_props {
-        acc = u.matmul(&acc);
-        forward.push(acc.clone());
+    for j in 0..n_steps {
+        // P_0 = U_1 · I, P_j = U_{j+1} · P_{j-1}: multiplying by the stored
+        // identity keeps the arithmetic of the original accumulator loop.
+        let (done, rest) = ws.forward.split_at_mut(j);
+        let prev = if j == 0 { &ws.id } else { &done[j - 1] };
+        ws.step_props[j].matmul_into(prev, &mut rest[0]);
     }
-    // Backward products B_j = U_N … U_{j+1}.
-    let mut backward = vec![CMatrix::identity(dim); n_steps];
-    let mut acc_b = CMatrix::identity(dim);
-    for j in (0..n_steps).rev() {
-        backward[j] = acc_b.clone();
-        acc_b = acc_b.matmul(&step_props[j]);
+    // Backward products B_j = U_N … U_{j+1} (B_{N-1} = I), and the full
+    // product U_N … U_1.
+    ws.backward[n_steps - 1].copy_from(&ws.id);
+    for j in (0..n_steps.saturating_sub(1)).rev() {
+        let (head, tail) = ws.backward.split_at_mut(j + 1);
+        tail[0].matmul_into(&ws.step_props[j + 1], &mut head[j]);
     }
-    // After the loop `acc_b` holds the full product U_N … U_1.
-    let total = &acc_b;
-    let overlap = target.hs_inner(total); // tr(target† U_total)
+    ws.backward[0].matmul_into(&ws.step_props[0], &mut ws.total);
+    let overlap = target.hs_inner(&ws.total); // tr(target† U_total)
     let fidelity = overlap.norm_sqr() / (d * d);
 
     // Gradient: dF/du_{j,k} = (2/d²)·Re[ conj(g)·tr(target† B_j ∂U_j P_{j-1}) ]
@@ -252,12 +320,11 @@ fn fidelity_and_gradient(
     // tr(target† B_j (-i 2π dt H_k) U_j P_{j-1}) = -i 2π dt · tr(C_j H_k P_j)
     // where C_j = target† B_j and P_j = forward[j].
     let mut gradient = vec![vec![0.0f64; n_controls]; n_steps];
-    let target_dag = target.dagger();
-    for j in 0..n_steps {
-        let c_j = target_dag.matmul(&backward[j]);
+    for (j, grad_row) in gradient.iter_mut().enumerate() {
+        ws.target_dag.matmul_into(&ws.backward[j], &mut ws.c_j);
         // Using the cyclic property: tr(C_j H_k P_j) = tr(P_j C_j H_k), so one
         // matmul per step suffices and each control costs only a trace.
-        let pc = forward[j].matmul(&c_j);
+        ws.forward[j].matmul_into(&ws.c_j, &mut ws.pc);
         for (k, (_, h_k, _)) in system.controls().iter().enumerate() {
             // tr(P_j C_j H_k) = Σ_{a,b} (P_j C_j)[a,b] · H_k[b,a].
             let mut tr = C64::zero();
@@ -265,13 +332,13 @@ fn fidelity_and_gradient(
                 for b in 0..dim {
                     let h = h_k[(b, a)];
                     if h.re != 0.0 || h.im != 0.0 {
-                        tr += pc[(a, b)] * h;
+                        tr += ws.pc[(a, b)] * h;
                     }
                 }
             }
             let term = C64::new(0.0, -two_pi_dt) * tr;
             let grad = 2.0 * (overlap.conj() * term).re / (d * d);
-            gradient[j][k] = grad;
+            grad_row[k] = grad;
         }
     }
     (fidelity, gradient)

@@ -11,13 +11,14 @@
 use crate::grape::{GrapeConfig, GrapeOptimizer, GrapeResult};
 use crate::hamiltonian::TransmonSystem;
 use parking_lot::Mutex;
-use qcc_hw::{CalibratedLatencyModel, ControlLimits, LatencyModel};
+use qcc_hw::{CalibratedLatencyModel, ControlLimits, LatencyModel, PricingStats};
 use qcc_ir::Instruction;
 use qcc_math::{gate_fidelity, CMatrix};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, OnceLock};
+use threadpool::ThreadPool;
 
 /// Number of independently locked shards in the latency cache. Concurrent
 /// pricing threads only contend when their keys hash to the same shard, so a
@@ -33,8 +34,11 @@ const CACHE_SHARDS: usize = 16;
 /// GRAPE solve runs inside `OnceLock::get_or_init` *outside* any shard lock.
 /// Concurrent callers of the same key block on the slot — not the shard — so
 /// every key is solved exactly once and other keys keep flowing.
+/// One shard: byte keys to their compute-once latency slots.
+type CacheShard = HashMap<Vec<u8>, Arc<OnceLock<f64>>>;
+
 struct ShardedLatencyCache {
-    shards: Vec<Mutex<HashMap<String, Arc<OnceLock<f64>>>>>,
+    shards: Vec<Mutex<CacheShard>>,
 }
 
 impl ShardedLatencyCache {
@@ -48,7 +52,7 @@ impl ShardedLatencyCache {
 
     /// Fetches the compute-once slot for `key`, inserting an empty one if the
     /// key is new (occupied entries take the fast path: one lock, one clone).
-    fn slot(&self, key: String) -> Arc<OnceLock<f64>> {
+    fn slot(&self, key: Vec<u8>) -> Arc<OnceLock<f64>> {
         let mut hasher = std::hash::DefaultHasher::new();
         key.hash(&mut hasher);
         let shard = &self.shards[hasher.finish() as usize % CACHE_SHARDS];
@@ -75,6 +79,8 @@ pub struct GrapeLatencyModel {
     cache: ShardedLatencyCache,
     /// Number of pricing computations actually performed (cache misses).
     solves: AtomicUsize,
+    /// Number of pricing queries answered (single and batched, hits included).
+    queries: AtomicUsize,
 }
 
 impl std::fmt::Debug for GrapeLatencyModel {
@@ -97,6 +103,7 @@ impl GrapeLatencyModel {
             refinement_rounds: 3,
             cache: ShardedLatencyCache::new(),
             solves: AtomicUsize::new(0),
+            queries: AtomicUsize::new(0),
         }
     }
 
@@ -108,15 +115,30 @@ impl GrapeLatencyModel {
 
     /// Cache key of an instruction list. Gate order is preserved: constituent
     /// gates do not commute in general, so `[X(0); H(0)]` and `[H(0); X(0)]`
-    /// are different target unitaries and must price independently. Gates are
-    /// rendered with `Debug` (round-trip f64 precision), not the 4-decimal
-    /// `Display`, so nearby rotation angles never share a key.
-    fn cache_key(constituents: &[Instruction]) -> String {
-        let parts: Vec<String> = constituents
-            .iter()
-            .map(|i| format!("{:?}:{:?}", i.gate, i.qubits))
-            .collect();
-        parts.join(";")
+    /// are different target unitaries and must price independently. The key is
+    /// the injective byte encoding of the sequence
+    /// ([`Instruction::encode_into`]): variant tags, raw `f64::to_bits` angle
+    /// bit patterns, and qubit indices — nearby rotation angles never share a
+    /// key, and building it allocates one small `Vec<u8>` instead of the
+    /// per-gate `format!` strings of the old `Debug`-rendered key.
+    fn cache_key(constituents: &[Instruction]) -> Vec<u8> {
+        // ~18 bytes per encoded gate (tag + angle bits + two qubit indices).
+        let mut key = Vec::with_capacity(constituents.len() * 20);
+        for inst in constituents {
+            inst.encode_into(&mut key);
+        }
+        key
+    }
+
+    /// One actual pricing computation for `constituents` (a cache miss):
+    /// the optimal-control search, or the calibrated fallback when the
+    /// instruction is too wide or the search did not converge.
+    fn solve_uncached(&self, constituents: &[Instruction]) -> f64 {
+        self.solves.fetch_add(1, Ordering::Relaxed);
+        match self.optimize_instruction(constituents) {
+            Some((t_best, result)) if result.converged => t_best,
+            _ => self.fallback.aggregate_latency(constituents),
+        }
     }
 
     /// Number of distinct instruction keys in the cache. Keys whose first
@@ -190,14 +212,50 @@ impl LatencyModel for GrapeLatencyModel {
     }
 
     fn aggregate_latency(&self, constituents: &[Instruction]) -> f64 {
+        self.queries.fetch_add(1, Ordering::Relaxed);
         let slot = self.cache.slot(Self::cache_key(constituents));
-        *slot.get_or_init(|| {
-            self.solves.fetch_add(1, Ordering::Relaxed);
-            match self.optimize_instruction(constituents) {
-                Some((t_best, result)) if result.converged => t_best,
-                _ => self.fallback.aggregate_latency(constituents),
-            }
-        })
+        *slot.get_or_init(|| self.solve_uncached(constituents))
+    }
+
+    /// Batched pricing that dedups against the sharded cache before touching
+    /// the pool: every query fetches its compute-once slot first, already
+    /// solved keys (and duplicates within the batch, which share one slot
+    /// allocation) are answered for free, and only the *unique* misses fan
+    /// out over `pool` — one GRAPE solve per distinct key, exactly-once under
+    /// any concurrency via the existing [`OnceLock`] slots. Values are
+    /// bit-identical to sequential
+    /// [`aggregate_latency`](LatencyModel::aggregate_latency) calls: same
+    /// keys, same slots, same deterministic solves.
+    fn aggregate_latency_batch(&self, queries: &[&[Instruction]], pool: &ThreadPool) -> Vec<f64> {
+        self.queries.fetch_add(queries.len(), Ordering::Relaxed);
+        let slots: Vec<Arc<OnceLock<f64>>> = queries
+            .iter()
+            .map(|q| self.cache.slot(Self::cache_key(q)))
+            .collect();
+        // Unique unsolved keys, in first-occurrence order. Duplicate queries
+        // resolve to the same slot allocation, so pointer identity dedups
+        // without re-deriving the keys.
+        let mut seen = HashSet::new();
+        let misses: Vec<usize> = slots
+            .iter()
+            .enumerate()
+            .filter(|(_, slot)| slot.get().is_none() && seen.insert(Arc::as_ptr(slot)))
+            .map(|(i, _)| i)
+            .collect();
+        if !misses.is_empty() {
+            pool.parallel_map(&misses, |&i| {
+                slot_value(&slots[i], || self.solve_uncached(queries[i]))
+            });
+        }
+        // Collect in input order. Slots we fanned out above are initialized;
+        // a slot observed occupied before the fan-out may still be mid-solve
+        // in a concurrent caller, in which case get_or_init blocks on it (the
+        // closure never runs twice for one slot — exactly-once holds).
+        slots
+            .iter()
+            .zip(queries)
+            .map(|(slot, q)| slot_value(slot, || self.solve_uncached(q)))
+            .collect()
     }
 
     /// GRAPE solves take milliseconds each — always worth fanning out.
@@ -205,9 +263,22 @@ impl LatencyModel for GrapeLatencyModel {
         true
     }
 
+    fn pricing_stats(&self) -> Option<PricingStats> {
+        Some(PricingStats {
+            queries: self.queries.load(Ordering::Relaxed),
+            solves: self.solves.load(Ordering::Relaxed),
+        })
+    }
+
     fn name(&self) -> &'static str {
         "grape-xy"
     }
+}
+
+/// Reads a compute-once slot, running `solve` (exactly once across all
+/// threads) when the slot is still empty.
+fn slot_value(slot: &OnceLock<f64>, solve: impl FnOnce() -> f64) -> f64 {
+    *slot.get_or_init(solve)
 }
 
 /// Outcome of verifying one pulse against its target unitary (§3.6).
@@ -309,8 +380,8 @@ mod tests {
         let (u_hx, _) = GrapeLatencyModel::target_unitary(&hx);
         assert!(!u_xh.approx_eq_up_to_phase(&u_hx, 1e-9));
 
-        // Rotation angles closer than the 4-decimal Display precision must
-        // also key separately (Debug formatting round-trips the f64).
+        // Rotation angles that differ in any bit must key separately (the
+        // byte key embeds the raw f64 bit pattern).
         assert_ne!(
             GrapeLatencyModel::cache_key(&[inst(Gate::Rz(0.40001), &[0])]),
             GrapeLatencyModel::cache_key(&[inst(Gate::Rz(0.40004), &[0])])
@@ -374,6 +445,45 @@ mod tests {
         }
         assert_eq!(model.solve_count(), unique_keys, "duplicated GRAPE solves");
         assert_eq!(model.cached_entries(), unique_keys);
+    }
+
+    #[test]
+    fn batch_pricing_dedups_and_matches_single_queries() {
+        let workload: Vec<Vec<Instruction>> = vec![
+            vec![inst(Gate::X, &[0])],
+            vec![inst(Gate::H, &[1])],
+            vec![inst(Gate::X, &[0]), inst(Gate::H, &[0])],
+            vec![inst(Gate::X, &[0])], // duplicate within the batch
+            vec![inst(Gate::Rz(0.4), &[2])],
+        ];
+        let queries: Vec<&[Instruction]> = workload.iter().map(|c| c.as_slice()).collect();
+        let reference = GrapeLatencyModel::fast_two_qubit();
+        let expected: Vec<f64> = workload
+            .iter()
+            .map(|c| reference.aggregate_latency(c))
+            .collect();
+        assert_eq!(reference.solve_count(), 4, "4 unique keys");
+
+        for threads in [1, 4] {
+            let model = GrapeLatencyModel::fast_two_qubit();
+            let got = model.aggregate_latency_batch(&queries, &ThreadPool::new(threads));
+            for (g, e) in got.iter().zip(&expected) {
+                assert_eq!(g.to_bits(), e.to_bits(), "{threads} threads");
+            }
+            // The in-batch duplicate is priced by one solve.
+            assert_eq!(model.solve_count(), 4, "{threads} threads");
+            assert_eq!(model.cached_entries(), 4);
+            // Re-batching is all cache hits: queries grow, solves do not.
+            let again = model.aggregate_latency_batch(&queries, &ThreadPool::new(threads));
+            assert_eq!(model.solve_count(), 4);
+            for (g, e) in again.iter().zip(&expected) {
+                assert_eq!(g.to_bits(), e.to_bits());
+            }
+            let stats = model.pricing_stats().expect("grape model is instrumented");
+            assert_eq!(stats.queries, 2 * workload.len());
+            assert_eq!(stats.solves, 4);
+            assert_eq!(stats.cache_hits(), 2 * workload.len() - 4);
+        }
     }
 
     #[test]

@@ -8,12 +8,34 @@
 //! saving. The loop iterates with the latency model (the optimal-control unit
 //! or its calibrated stand-in) until no more profitable monotonic actions
 //! exist, the fixed-point structure the paper describes.
+//!
+//! The merge loop commits actions strictly in scan order — each action depends
+//! on the schedule produced by the previous one — but the expensive part of a
+//! step is *pricing* a candidate with the latency model, and candidate pricing
+//! is side-effect free. [`run_with_pool`] therefore evaluates **speculatively
+//! in parallel**: it collects the lookahead window of legal merge candidates
+//! the serial scan would examine next, prices them in one batched model call
+//! ([`LatencyModel::aggregate_latency_batch`]) across the pool, and then
+//! replays the serial accept/reject decisions in scan order, committing
+//! exactly the candidate the serial loop would have committed. The output is
+//! provably bit-identical to the serial search; only wall-clock changes.
+//! Speculation beyond the committed candidate can price merges the serial
+//! loop never reaches — those solves land in the model's compute-once cache,
+//! where later rounds usually reuse them.
 
 use crate::instr::{AggregateInstruction, InstructionOrigin};
-use crate::schedule::{alap_slacks, asap_schedule};
+use crate::schedule::{alap_slacks, asap_schedule, Schedule};
 use qcc_hw::LatencyModel;
+use qcc_ir::Instruction;
 use serde::{Deserialize, Serialize};
 use threadpool::ThreadPool;
+
+/// Speculative candidates collected per pool thread and priced in one batched
+/// model call. One per thread keeps every worker busy during a round while
+/// bounding wasted solves (candidates past the committed merge) to at most
+/// `threads - 1` per commit — and those land in the model's cache, where
+/// later rounds usually reuse them.
+const SPECULATION_PER_THREAD: usize = 1;
 
 /// Options of the aggregation pass.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -91,156 +113,307 @@ pub fn run(
     run_with_pool(instrs, model, options, &ThreadPool::serial())
 }
 
-/// [`run`] with an explicit thread pool: the initial latency vectoring (one
-/// independent model query per routed instruction) fans out over the pool.
-/// The merge loop itself stays sequential — each action depends on the
-/// schedule produced by the previous one.
+/// [`run`] with an explicit thread pool.
+///
+/// The initial latency vectoring (one independent model query per routed
+/// instruction) and the candidate pricing inside the merge loop both go
+/// through [`LatencyModel::aggregate_latency_batch`] on the pool. With more
+/// than one thread and a model that declares pricing expensive
+/// ([`parallel_pricing`](LatencyModel::parallel_pricing)), the merge loop
+/// runs the speculative-parallel search (see the module docs): candidates
+/// are priced concurrently, commits replay the serial decision order, and
+/// the result is bit-identical to the serial search. With a pool of one
+/// thread (e.g. `QCC_THREADS=1`) or a cheap analytic model, the original
+/// serial loop runs inline — no candidate collection, no batching, no
+/// spawns.
 pub fn run_with_pool(
     instrs: &[AggregateInstruction],
     model: &dyn LatencyModel,
     options: &AggregationOptions,
     pool: &ThreadPool,
 ) -> (Vec<AggregateInstruction>, AggregationStats) {
-    let mut current: Vec<AggregateInstruction> = instrs.to_vec();
+    let current: Vec<AggregateInstruction> = instrs.to_vec();
     // Latencies are maintained incrementally: only the instruction produced by
     // a merge is re-priced, so the model is queried O(instructions + merges)
     // times rather than O(instructions · merges).
-    let mut latencies: Vec<f64> =
-        pool.parallel_map(&current, |i| model.aggregate_latency(&i.constituents));
-    let mut schedule = asap_schedule(&current, &latencies);
-    let mut slacks = alap_slacks(&current, &latencies, &schedule);
+    let latencies: Vec<f64> = {
+        let queries: Vec<&[Instruction]> =
+            current.iter().map(|i| i.constituents.as_slice()).collect();
+        model.aggregate_latency_batch(&queries, pool)
+    };
+    let schedule = asap_schedule(&current, &latencies);
+    let slacks = alap_slacks(&current, &latencies, &schedule);
     let mut stats = AggregationStats {
         makespan_before: schedule.makespan,
         ..Default::default()
     };
+    let mut state = SearchState {
+        current,
+        latencies,
+        schedule,
+        slacks,
+    };
 
+    // Speculation only pays when a pricing query is expensive enough to fan
+    // out: with one thread, or a model whose queries are cheap arithmetic
+    // (`parallel_pricing() == false`, where the batch prices serially
+    // anyway), the discarded lookahead candidates would be pure overhead —
+    // run the original serial loop inline instead.
+    if pool.threads() <= 1 || !model.parallel_pricing() {
+        merge_loop_serial(&mut state, model, options, &mut stats);
+    } else {
+        merge_loop_speculative(&mut state, model, options, pool, &mut stats);
+    }
+
+    stats.makespan_after = state.schedule.makespan;
+    (state.current, stats)
+}
+
+/// Mutable state of the merge search: the instruction stream, its prices, and
+/// the schedule artifacts the accept/reject checks consult. Frozen between
+/// commits — which is what makes speculative pricing safe.
+struct SearchState {
+    current: Vec<AggregateInstruction>,
+    latencies: Vec<f64>,
+    schedule: Schedule,
+    slacks: Vec<f64>,
+}
+
+/// The serial scan's merge candidate at position `i`, if any: the first later
+/// instruction within the search window sharing a qubit, provided the merge
+/// passes every model-free legality check (no interposed dependence, width
+/// and gate-count limits). Pure — prices nothing, mutates nothing.
+fn legal_candidate(
+    current: &[AggregateInstruction],
+    i: usize,
+    options: &AggregationOptions,
+) -> Option<(usize, AggregateInstruction)> {
+    let n = current.len();
+    // Partner: the first later instruction sharing a qubit with i, searched
+    // within the window.
+    let mut partner = None;
+    for j in (i + 1)..n.min(i + 1 + options.search_window) {
+        if !current[i].shared_qubits(&current[j]).is_empty() {
+            partner = Some(j);
+            break;
+        }
+    }
+    let j = partner?;
+
+    // No instruction between i and j may touch any qubit of j (they already
+    // touch none of i's qubits, or one of them would have been the partner).
+    let b_qubits = &current[j].qubits;
+    if current[(i + 1)..j]
+        .iter()
+        .any(|k| k.qubits.iter().any(|q| b_qubits.contains(q)))
+    {
+        return None;
+    }
+
+    // Width / size limits.
+    let mut union = current[i].qubits.clone();
+    for q in b_qubits {
+        if !union.contains(q) {
+            union.push(*q);
+        }
+    }
+    if union.len() > options.max_width
+        || current[i].gate_count() + current[j].gate_count() > options.max_gates
+    {
+        return None;
+    }
+
+    Some((j, current[i].merge(&current[j])))
+}
+
+/// Replays the serial accept/reject decision for one priced candidate:
+/// local-gain threshold, conservative slack filter, then the exact
+/// reschedule-and-revert monotonicity check. Returns `true` when the merge
+/// was committed (state mutated), `false` when rejected (state untouched).
+fn try_commit(
+    state: &mut SearchState,
+    i: usize,
+    j: usize,
+    merged: AggregateInstruction,
+    lat_merged: f64,
+    options: &AggregationOptions,
+) -> bool {
+    let SearchState {
+        current,
+        latencies,
+        schedule,
+        slacks,
+    } = state;
+    let local_gain = latencies[i] + latencies[j] - lat_merged;
+    if options.require_local_gain && local_gain <= 1e-9 {
+        return false;
+    }
+
+    // Fast conservative filter before paying for an exact reschedule: the
+    // merged instruction runs from i's start for lat_merged; every qubit it
+    // occupies longer than before must have that much slack in its next user.
+    let finish_merged = schedule.entries[i].start + lat_merged;
+    if finish_merged > schedule.makespan + 1e-9 {
+        return false;
+    }
+    for &q in &merged.qubits {
+        let prev_release = if current[j].acts_on(q) {
+            schedule.entries[j].finish()
+        } else {
+            schedule.entries[i].finish()
+        };
+        let delay = finish_merged - prev_release;
+        if delay <= 1e-9 {
+            continue;
+        }
+        let next_user = current
+            .iter()
+            .enumerate()
+            .skip(j + 1)
+            .find(|(_, inst)| inst.acts_on(q));
+        if let Some((k, _)) = next_user {
+            if delay > slacks[k] + 1e-9 {
+                return false;
+            }
+        }
+    }
+
+    // Exact monotonicity check: apply the merge in place, recompute the
+    // makespan, and revert when it grew.
+    let saved_i = std::mem::replace(&mut current[i], merged);
+    let saved_j = current.remove(j);
+    let saved_lat_i = latencies[i];
+    let saved_lat_j = latencies.remove(j);
+    latencies[i] = lat_merged;
+    let new_schedule = asap_schedule(current, latencies);
+    if new_schedule.makespan > schedule.makespan + 1e-9 {
+        latencies[i] = saved_lat_i;
+        latencies.insert(j, saved_lat_j);
+        current[i] = saved_i;
+        current.insert(j, saved_j);
+        return false;
+    }
+
+    *schedule = new_schedule;
+    *slacks = alap_slacks(current, latencies, schedule);
+    true
+}
+
+/// The original sequential merge loop: scan, price one candidate at a time,
+/// commit or advance. Runs when the pool has a single thread, so the
+/// `QCC_THREADS=1` path has zero speculation or batching overhead and prices
+/// candidates in exactly the historical order.
+fn merge_loop_serial(
+    state: &mut SearchState,
+    model: &dyn LatencyModel,
+    options: &AggregationOptions,
+    stats: &mut AggregationStats,
+) {
     loop {
         stats.passes += 1;
         let mut performed = false;
 
         let mut i = 0usize;
-        while i < current.len() {
-            let n = current.len();
-            // Partner: the first later instruction sharing a qubit with i,
-            // searched within the window.
-            let mut partner = None;
-            for j in (i + 1)..n.min(i + 1 + options.search_window) {
-                if !current[i].shared_qubits(&current[j]).is_empty() {
-                    partner = Some(j);
-                    break;
-                }
-            }
-            let Some(j) = partner else {
+        while i < state.current.len() {
+            let Some((j, merged)) = legal_candidate(&state.current, i, options) else {
                 i += 1;
                 continue;
             };
-
-            // No instruction between i and j may touch any qubit of j (they
-            // already touch none of i's qubits, or one of them would have been
-            // the partner).
-            let b_qubits = current[j].qubits.clone();
-            if current[(i + 1)..j]
-                .iter()
-                .any(|k| k.qubits.iter().any(|q| b_qubits.contains(q)))
-            {
-                i += 1;
-                continue;
-            }
-
-            // Width / size limits.
-            let mut union = current[i].qubits.clone();
-            for q in &b_qubits {
-                if !union.contains(q) {
-                    union.push(*q);
-                }
-            }
-            if union.len() > options.max_width
-                || current[i].gate_count() + current[j].gate_count() > options.max_gates
-            {
-                i += 1;
-                continue;
-            }
-
-            let merged = current[i].merge(&current[j]);
             let lat_merged = model.aggregate_latency(&merged.constituents);
-            let local_gain = latencies[i] + latencies[j] - lat_merged;
-            if options.require_local_gain && local_gain <= 1e-9 {
-                i += 1;
-                continue;
-            }
-
-            // Fast conservative filter before paying for an exact reschedule:
-            // the merged instruction runs from i's start for lat_merged; every
-            // qubit it occupies longer than before must have that much slack in
-            // its next user.
-            let finish_merged = schedule.entries[i].start + lat_merged;
-            if finish_merged > schedule.makespan + 1e-9 {
-                i += 1;
-                continue;
-            }
-            let mut plausible = true;
-            for &q in &merged.qubits {
-                let prev_release = if current[j].acts_on(q) {
-                    schedule.entries[j].finish()
-                } else {
-                    schedule.entries[i].finish()
-                };
-                let delay = finish_merged - prev_release;
-                if delay <= 1e-9 {
-                    continue;
+            if try_commit(state, i, j, merged, lat_merged, options) {
+                stats.merges += 1;
+                performed = true;
+                if stats.merges >= options.max_merges {
+                    break;
                 }
-                let next_user = current
-                    .iter()
-                    .enumerate()
-                    .skip(j + 1)
-                    .find(|(_, inst)| inst.acts_on(q));
-                if let Some((k, _)) = next_user {
-                    if delay > slacks[k] + 1e-9 {
-                        plausible = false;
-                        break;
-                    }
-                }
-            }
-            if !plausible {
+                // Stay at position i: the merged instruction may merge again
+                // with its next partner.
+            } else {
                 i += 1;
-                continue;
             }
-
-            // Exact monotonicity check: apply the merge in place, recompute the
-            // makespan, and revert when it grew.
-            let saved_i = std::mem::replace(&mut current[i], merged);
-            let saved_j = current.remove(j);
-            let saved_lat_i = latencies[i];
-            let saved_lat_j = latencies.remove(j);
-            latencies[i] = lat_merged;
-            let new_schedule = asap_schedule(&current, &latencies);
-            if new_schedule.makespan > schedule.makespan + 1e-9 {
-                latencies[i] = saved_lat_i;
-                latencies.insert(j, saved_lat_j);
-                current[i] = saved_i;
-                current.insert(j, saved_j);
-                i += 1;
-                continue;
-            }
-
-            schedule = new_schedule;
-            slacks = alap_slacks(&current, &latencies, &schedule);
-            stats.merges += 1;
-            performed = true;
-            if stats.merges >= options.max_merges {
-                break;
-            }
-            // Stay at position i: the merged instruction may merge again with
-            // its next partner.
         }
 
         if !performed || stats.merges >= options.max_merges {
             break;
         }
     }
+}
 
-    stats.makespan_after = schedule.makespan;
-    (current, stats)
+/// The speculative-parallel merge loop. Each round collects the window of
+/// legal candidates the serial scan would price next — all against the same
+/// frozen state, since nothing mutates between commits — prices them in one
+/// batched model call across the pool, and replays the serial accept/reject
+/// decisions in scan order. The first accepted candidate is committed and the
+/// rest of the window is discarded (their prices stay in the model's cache);
+/// the scan resumes at the committed position, exactly as the serial loop
+/// does. Commits therefore happen in the identical order with identical
+/// prices, making the output bit-identical to [`merge_loop_serial`].
+fn merge_loop_speculative(
+    state: &mut SearchState,
+    model: &dyn LatencyModel,
+    options: &AggregationOptions,
+    pool: &ThreadPool,
+    stats: &mut AggregationStats,
+) {
+    let window = pool.threads().saturating_mul(SPECULATION_PER_THREAD).max(1);
+    loop {
+        stats.passes += 1;
+        let mut performed = false;
+
+        let mut i = 0usize;
+        while i < state.current.len() {
+            // Collect the next `window` candidates of the frozen state,
+            // remembering where the scan stopped.
+            let mut candidates: Vec<(usize, usize, AggregateInstruction)> =
+                Vec::with_capacity(window);
+            let mut pos = i;
+            while pos < state.current.len() && candidates.len() < window {
+                if let Some((j, merged)) = legal_candidate(&state.current, pos, options) {
+                    candidates.push((pos, j, merged));
+                }
+                pos += 1;
+            }
+            if candidates.is_empty() {
+                // Scan exhausted with nothing to price; the pass is over.
+                break;
+            }
+
+            let prices: Vec<f64> = {
+                let queries: Vec<&[Instruction]> = candidates
+                    .iter()
+                    .map(|(_, _, merged)| merged.constituents.as_slice())
+                    .collect();
+                model.aggregate_latency_batch(&queries, pool)
+            };
+
+            let mut committed = None;
+            for ((ci, cj, merged), &lat_merged) in candidates.iter().zip(&prices) {
+                if try_commit(state, *ci, *cj, merged.clone(), lat_merged, options) {
+                    committed = Some(*ci);
+                    break;
+                }
+            }
+            match committed {
+                Some(ci) => {
+                    stats.merges += 1;
+                    performed = true;
+                    if stats.merges >= options.max_merges {
+                        break;
+                    }
+                    // Stay at the committed position — the merged instruction
+                    // may merge again — and re-speculate against the new state.
+                    i = ci;
+                }
+                // Every candidate rejected with the state unchanged: the
+                // serial scan would now be past the last collected position.
+                None => i = pos,
+            }
+        }
+
+        if !performed || stats.merges >= options.max_merges {
+            break;
+        }
+    }
 }
 
 /// Marks every multi-gate instruction produced by the pass as `Aggregated`

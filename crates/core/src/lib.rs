@@ -64,9 +64,13 @@ pub use mapping::Layout;
 pub use passes::{
     CompileError, GatePricing, Pass, PassContext, PassReport, PassState, Pipeline, PipelineBuilder,
 };
+// Re-exported so `PassReport::pricing` consumers need no direct qcc-hw dep.
 pub use pipeline::{
     CompilationResult, Compiler, CompilerOptions, ParseStrategyError, Strategy, StrategyComparison,
 };
+pub use qcc_hw::PricingStats;
 pub use schedule::{asap_schedule, Schedule, ScheduledInstruction};
-pub use service::{compile_with_default_model, CompileService};
+pub use service::{
+    compile_with_default_model, CompileCacheStats, CompileService, DEFAULT_COMPILE_CACHE_CAPACITY,
+};
 pub use verify::{verify_compilation, verify_sampled_pulses, CircuitVerification};

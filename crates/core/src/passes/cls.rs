@@ -2,6 +2,7 @@
 
 use super::{CompileError, GatePricing, Pass, PassContext, PassState};
 use crate::cls;
+use qcc_ir::Instruction;
 
 /// Commutativity-aware logical scheduling (Algorithm 1, §3.3.2) on the
 /// gate-level stream, prioritized by gate-based prices.
@@ -49,10 +50,11 @@ impl Pass for Cls {
 /// Re-runs CLS on the *aggregated* instructions before emitting pulses, as the
 /// paper does (§3.4.2), pricing each instruction as a single optimized pulse.
 ///
-/// Pricing fans out over the context's pricing pool; the computed prices are
-/// permuted alongside the reordering and stored in
-/// [`PassState::latencies`], so a later [`Price`](super::Price) pass is a
-/// no-op instead of re-querying the model.
+/// Pricing goes through one batched model call
+/// ([`LatencyModel::aggregate_latency_batch`](qcc_hw::LatencyModel::aggregate_latency_batch))
+/// on the context's pricing pool; the computed prices are permuted alongside
+/// the reordering and stored in [`PassState::latencies`], so a later
+/// [`Price`](super::Price) pass is a no-op instead of re-querying the model.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct FinalCls;
 
@@ -62,9 +64,14 @@ impl Pass for FinalCls {
     }
 
     fn run(&self, state: &mut PassState, ctx: &PassContext) -> Result<(), CompileError> {
-        let lat = ctx.pricing_pool().parallel_map(&state.instructions, |i| {
-            ctx.model.aggregate_latency(&i.constituents)
-        });
+        let queries: Vec<&[Instruction]> = state
+            .instructions
+            .iter()
+            .map(|i| i.constituents.as_slice())
+            .collect();
+        let lat = ctx
+            .model
+            .aggregate_latency_batch(&queries, ctx.pricing_pool());
         let result = cls::schedule(&state.instructions, &lat);
         state.instructions = cls::apply_order(&state.instructions, &result.order);
         // apply_order only permutes instructions; permute their prices

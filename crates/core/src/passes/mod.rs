@@ -89,7 +89,7 @@ use crate::instr::AggregateInstruction;
 use crate::mapping::Layout;
 use crate::pipeline::CompilerOptions;
 use crate::schedule::Schedule;
-use qcc_hw::{Device, LatencyModel};
+use qcc_hw::{Device, LatencyModel, PricingStats};
 use qcc_ir::Circuit;
 use std::fmt;
 use std::time::{Duration, Instant};
@@ -280,6 +280,13 @@ pub struct PassReport {
     pub gates: usize,
     /// Wall-clock time the pass took.
     pub wall_time: Duration,
+    /// Latency-model pricing activity attributable to this pass — queries
+    /// answered and actual solves (cache misses) performed while it ran —
+    /// when the model instruments its cache
+    /// ([`LatencyModel::pricing_stats`]); `None` for uninstrumented models
+    /// like the analytic calibrated one. This is where GRAPE solve time
+    /// lands in the timing breakdown.
+    pub pricing: Option<PricingStats>,
 }
 
 /// One stage of the compilation pipeline.
@@ -333,13 +340,24 @@ impl Pipeline {
     pub fn run(&self, ctx: &PassContext) -> Result<PassState, CompileError> {
         let mut state = PassState::default();
         for pass in &self.passes {
+            let before = ctx.model.pricing_stats();
             let started = Instant::now();
             pass.run(&mut state, ctx)?;
+            let wall_time = started.elapsed();
+            // Counter deltas around the pass attribute solve activity to it.
+            // (Under concurrent compiles against one shared model the deltas
+            // include the other compiles' activity — they are serving
+            // telemetry, not an exact per-pass ledger.)
+            let pricing = ctx
+                .model
+                .pricing_stats()
+                .map(|after| after.delta_since(&before.unwrap_or_default()));
             state.reports.push(PassReport {
                 pass: pass.name(),
                 instructions: state.instructions.len(),
                 gates: state.gate_count(),
-                wall_time: started.elapsed(),
+                wall_time,
+                pricing,
             });
         }
         Ok(state)

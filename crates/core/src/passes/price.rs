@@ -1,6 +1,7 @@
 //! The `price` pass: per-instruction latency assignment.
 
 use super::{CompileError, GatePricing, Pass, PassContext, PassState};
+use qcc_ir::Instruction;
 
 /// How the [`Price`] pass costs each instruction.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -16,7 +17,10 @@ enum PricingMode {
 /// If an earlier pass already priced the stream (e.g.
 /// [`FinalCls`](super::FinalCls)), this pass keeps those prices untouched —
 /// appending it to any pipeline is therefore always safe. Per-instruction
-/// pricing fans out over the context's pricing pool; the per-gate modes are
+/// pricing goes through one batched model call
+/// ([`LatencyModel::aggregate_latency_batch`](qcc_hw::LatencyModel::aggregate_latency_batch))
+/// on the context's pricing pool, so cached models dedup repeated
+/// instructions and fan only the unique solves out; the per-gate modes are
 /// cheap arithmetic and stay serial.
 #[derive(Debug, Clone, Copy)]
 pub struct Price {
@@ -50,11 +54,15 @@ impl Pass for Price {
             return Ok(());
         }
         let latencies = match self.mode {
-            PricingMode::PerInstruction => ctx
-                .pricing_pool()
-                .parallel_map(&state.instructions, |inst| {
-                    ctx.model.aggregate_latency(&inst.constituents)
-                }),
+            PricingMode::PerInstruction => {
+                let queries: Vec<&[Instruction]> = state
+                    .instructions
+                    .iter()
+                    .map(|inst| inst.constituents.as_slice())
+                    .collect();
+                ctx.model
+                    .aggregate_latency_batch(&queries, ctx.pricing_pool())
+            }
             PricingMode::PerGate(pricing) => state
                 .instructions
                 .iter()

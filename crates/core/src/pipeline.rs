@@ -27,7 +27,7 @@ use crate::passes::{
 };
 use crate::schedule::Schedule;
 use qcc_hw::{Device, LatencyModel};
-use qcc_ir::Circuit;
+use qcc_ir::{Circuit, Instruction};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::fmt;
@@ -114,16 +114,11 @@ impl Strategy {
         self.uses_aggregation()
     }
 
-    /// Materializes this strategy as a runnable [`Pipeline`] — the preset
-    /// recipe [`Compiler::compile`] drives.
-    ///
-    /// The logical-level [`Cls`] pass is skipped when aggregation follows: the
-    /// aggregation search works on program order, and the commutativity-aware
-    /// reordering is applied to the *aggregated* instructions afterwards
-    /// ([`FinalCls`](crate::passes::FinalCls)), which preserves both benefits
-    /// (the paper likewise reschedules the aggregated instructions with CLS
-    /// before emitting pulses, §3.4.2).
-    pub fn pipeline(&self) -> Pipeline {
+    /// Builder holding the preset's passes up to and including routing —
+    /// everything before aggregation/pricing first touches the latency model.
+    /// [`pipeline`](Self::pipeline) continues from this builder, so the
+    /// warm-up prefix can never drift from the real recipe.
+    fn routing_prefix_builder(&self) -> PipelineBuilder {
         let mut b = PipelineBuilder::new().add(Flatten);
         if self.uses_detection() {
             b = b.add(DetectDiagonalBlocks);
@@ -134,7 +129,27 @@ impl Strategy {
         if self.uses_cls() && !self.uses_aggregation() {
             b = b.add(Cls::new(self.gate_pricing()));
         }
-        b = b.add(Route);
+        b.add(Route)
+    }
+
+    /// The preset's routing prefix as a runnable pipeline. Used by the batch
+    /// warm-up ([`Compiler::compile_batch`]) to reproduce the exact routed
+    /// instruction streams the per-circuit compiles will price.
+    fn routing_prefix(&self) -> Pipeline {
+        self.routing_prefix_builder().build()
+    }
+
+    /// Materializes this strategy as a runnable [`Pipeline`] — the preset
+    /// recipe [`Compiler::compile`] drives.
+    ///
+    /// The logical-level [`Cls`] pass is skipped when aggregation follows: the
+    /// aggregation search works on program order, and the commutativity-aware
+    /// reordering is applied to the *aggregated* instructions afterwards
+    /// ([`FinalCls`](crate::passes::FinalCls)), which preserves both benefits
+    /// (the paper likewise reschedules the aggregated instructions with CLS
+    /// before emitting pulses, §3.4.2).
+    pub fn pipeline(&self) -> Pipeline {
+        let mut b = self.routing_prefix_builder();
         if self.uses_aggregation() {
             b = b.add(Aggregate);
             if self.uses_cls() {
@@ -414,6 +429,7 @@ impl<'a> Compiler<'a> {
         if circuits.is_empty() {
             return Vec::new();
         }
+        self.warm_latency_cache(circuits, options);
         let inner = Compiler {
             device: self.device,
             model: self.model,
@@ -421,6 +437,55 @@ impl<'a> Compiler<'a> {
         };
         self.pool
             .parallel_map(circuits, |circuit| inner.try_compile(circuit, options))
+    }
+
+    /// Batch warm-up: pre-prices the routed instruction streams of every
+    /// circuit through one [`LatencyModel::aggregate_latency_batch`] call on
+    /// the **full** pool before the per-circuit fan-out begins.
+    ///
+    /// The batch fan-out splits the thread budget, often down to one thread
+    /// per circuit, which would leave each compile's initial latency
+    /// vectoring — the bulk of the distinct GRAPE keys — running serially.
+    /// Warming the shared compute-once cache up front lets the whole pool
+    /// chew on the union of unique keys across the batch instead. The keys
+    /// are exactly the ones each compile prices first (the routing prefix is
+    /// deterministic), so results and total solve counts are unchanged;
+    /// solves just happen earlier and on more threads. Skipped when it
+    /// cannot pay: uninstrumented cheap models, single-threaded pools, and
+    /// per-gate-priced strategies.
+    fn warm_latency_cache(&self, circuits: &[Circuit], options: &CompilerOptions) {
+        if !self.model.parallel_pricing()
+            || self.pool.threads() <= 1
+            || !options.strategy.pulse_per_instruction()
+        {
+            return;
+        }
+        let prefix = options.strategy.routing_prefix();
+        // The prefix is pure per circuit, so the prefix runs themselves fan
+        // out over the pool. Circuits the prefix rejects (e.g. oversized for
+        // the device) fail identically in their real compile; skip them here.
+        let streams: Vec<Vec<AggregateInstruction>> = self
+            .pool
+            .parallel_map(circuits, |circuit| {
+                let ctx = PassContext::new(
+                    circuit,
+                    self.device,
+                    self.model,
+                    options,
+                    ThreadPool::serial(),
+                );
+                prefix.run(&ctx).map(|state| state.instructions).ok()
+            })
+            .into_iter()
+            .flatten()
+            .collect();
+        let queries: Vec<&[Instruction]> = streams
+            .iter()
+            .flat_map(|s| s.iter().map(|i| i.constituents.as_slice()))
+            .collect();
+        if !queries.is_empty() {
+            self.model.aggregate_latency_batch(&queries, &self.pool);
+        }
     }
 
     /// Compiles the circuit under every strategy and returns the results keyed

@@ -1,13 +1,130 @@
 //! The serving front door: an owning [`CompileService`] around the borrowing
-//! [`Compiler`], plus the shared default-model cache behind
-//! [`compile_with_default_model`].
+//! [`Compiler`] with a bounded compile-result cache, plus the shared
+//! default-model cache behind [`compile_with_default_model`].
 
 use crate::passes::CompileError;
 use crate::pipeline::{CompilationResult, Compiler, CompilerOptions};
 use qcc_hw::{CalibratedLatencyModel, ControlLimits, Device, LatencyModel};
 use qcc_ir::Circuit;
-use std::sync::Mutex;
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 use threadpool::ThreadPool;
+
+/// Default capacity (in cached results) of the service's compile cache.
+pub const DEFAULT_COMPILE_CACHE_CAPACITY: usize = 64;
+
+/// Summary of the service's compile-cache activity, for telemetry and tests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CompileCacheStats {
+    /// Requests answered from the cache.
+    pub hits: usize,
+    /// Requests that had to compile.
+    pub misses: usize,
+    /// Results currently cached.
+    pub entries: usize,
+}
+
+/// A bounded LRU cache of compilation results keyed by the request
+/// fingerprint (circuit byte encoding + strategy recipe + aggregation
+/// options). Compilation is deterministic, so serving a cached clone is
+/// indistinguishable from recompiling — repeated batch traffic skips the
+/// whole pipeline.
+struct CompileCache {
+    capacity: usize,
+    entries: Mutex<CacheEntries>,
+    hits: AtomicUsize,
+    misses: AtomicUsize,
+}
+
+#[derive(Default)]
+struct CacheEntries {
+    map: HashMap<Vec<u8>, Arc<CompilationResult>>,
+    /// Keys in least-recently-used-first order.
+    lru: VecDeque<Vec<u8>>,
+}
+
+impl CompileCache {
+    fn new(capacity: usize) -> Self {
+        Self {
+            capacity,
+            entries: Mutex::new(CacheEntries::default()),
+            hits: AtomicUsize::new(0),
+            misses: AtomicUsize::new(0),
+        }
+    }
+
+    fn enabled(&self) -> bool {
+        self.capacity > 0
+    }
+
+    fn get(&self, key: &[u8]) -> Option<Arc<CompilationResult>> {
+        let mut entries = self.entries.lock().expect("compile cache poisoned");
+        match entries.map.get(key).cloned() {
+            Some(result) => {
+                // Touch: move the key to the most-recently-used end.
+                if let Some(pos) = entries.lru.iter().position(|k| k == key) {
+                    let k = entries.lru.remove(pos).expect("position just found");
+                    entries.lru.push_back(k);
+                }
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(result)
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    fn insert(&self, key: Vec<u8>, result: Arc<CompilationResult>) {
+        let mut entries = self.entries.lock().expect("compile cache poisoned");
+        if entries.map.insert(key.clone(), result).is_none() {
+            entries.lru.push_back(key);
+        }
+        while entries.map.len() > self.capacity {
+            let Some(oldest) = entries.lru.pop_front() else {
+                break;
+            };
+            entries.map.remove(&oldest);
+        }
+    }
+
+    fn stats(&self) -> CompileCacheStats {
+        CompileCacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            entries: self
+                .entries
+                .lock()
+                .expect("compile cache poisoned")
+                .map
+                .len(),
+        }
+    }
+}
+
+/// Injective fingerprint of one compile request: the circuit's byte encoding
+/// plus every option that can change the output (strategy recipe, aggregation
+/// limits).
+fn request_fingerprint(circuit: &Circuit, options: &CompilerOptions) -> Vec<u8> {
+    let mut key = Vec::with_capacity(circuit.len() * 20 + 64);
+    key.extend_from_slice(&(circuit.n_qubits() as u64).to_le_bytes());
+    for inst in circuit.instructions() {
+        inst.encode_into(&mut key);
+    }
+    // Strategy names are unique per variant; terminate to keep the stream
+    // prefix-free against the options that follow.
+    key.extend_from_slice(options.strategy.name().as_bytes());
+    key.push(0);
+    let agg = &options.aggregation;
+    key.extend_from_slice(&(agg.max_width as u64).to_le_bytes());
+    key.extend_from_slice(&(agg.max_gates as u64).to_le_bytes());
+    key.extend_from_slice(&(agg.max_merges as u64).to_le_bytes());
+    key.push(agg.require_local_gain as u8);
+    key.extend_from_slice(&(agg.search_window as u64).to_le_bytes());
+    key
+}
 
 /// An owning compilation service: device reference, latency model, and thread
 /// pool bundled behind one front door.
@@ -19,6 +136,16 @@ use threadpool::ThreadPool;
 /// (constructed **once**, so model-internal caches — e.g. the sharded GRAPE
 /// latency cache — stay warm across requests) and exposes the batch and
 /// single-circuit entry points.
+///
+/// On top of the model's latency cache the service keeps a **bounded compile
+/// cache**: results keyed by (circuit fingerprint, strategy recipe,
+/// aggregation options), LRU-evicted past
+/// [`DEFAULT_COMPILE_CACHE_CAPACITY`] entries (tune or disable with
+/// [`with_compile_cache`](Self::with_compile_cache)). Compilation is
+/// deterministic, so repeated traffic — the common shape of batch serving —
+/// skips recompilation entirely and receives bit-identical results.
+/// Within one [`compile_batch`](Self::compile_batch) call, duplicate
+/// circuits compile once and share the result.
 ///
 /// ```
 /// use qcc_core::{CompileService, CompilerOptions, Strategy};
@@ -34,11 +161,14 @@ use threadpool::ThreadPool;
 /// let results = service.compile_batch(&batch, &CompilerOptions::strategy(Strategy::Cls));
 /// assert_eq!(results.len(), 2);
 /// assert!(results.iter().all(|r| r.is_ok()));
+/// // The duplicate was served from one compile.
+/// assert_eq!(service.compile_cache_stats().entries, 1);
 /// ```
 pub struct CompileService<'d> {
     device: &'d Device,
     model: Box<dyn LatencyModel + 'd>,
     pool: ThreadPool,
+    cache: CompileCache,
 }
 
 impl<'d> CompileService<'d> {
@@ -56,6 +186,7 @@ impl<'d> CompileService<'d> {
             device,
             model,
             pool: ThreadPool::with_default_parallelism(),
+            cache: CompileCache::new(DEFAULT_COMPILE_CACHE_CAPACITY),
         }
     }
 
@@ -64,6 +195,18 @@ impl<'d> CompileService<'d> {
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.pool = ThreadPool::new(threads);
         self
+    }
+
+    /// Sets the compile-cache capacity in cached results (`0` disables
+    /// result caching entirely), discarding anything cached so far.
+    pub fn with_compile_cache(mut self, capacity: usize) -> Self {
+        self.cache = CompileCache::new(capacity);
+        self
+    }
+
+    /// Hit/miss/entry counts of the compile cache.
+    pub fn compile_cache_stats(&self) -> CompileCacheStats {
+        self.cache.stats()
     }
 
     /// The device this service compiles for.
@@ -78,24 +221,86 @@ impl<'d> CompileService<'d> {
         Compiler::new(self.device, self.model.as_ref()).with_threads(self.pool.threads())
     }
 
-    /// Compiles one circuit.
+    /// Compiles one circuit, serving a cached result when the identical
+    /// request (circuit + options) was compiled before.
     pub fn compile(
         &self,
         circuit: &Circuit,
         options: &CompilerOptions,
     ) -> Result<CompilationResult, CompileError> {
-        self.compiler().try_compile(circuit, options)
+        if !self.cache.enabled() {
+            return self.compiler().try_compile(circuit, options);
+        }
+        let key = request_fingerprint(circuit, options);
+        if let Some(hit) = self.cache.get(&key) {
+            return Ok((*hit).clone());
+        }
+        let result = self.compiler().try_compile(circuit, options)?;
+        self.cache.insert(key, Arc::new(result.clone()));
+        Ok(result)
     }
 
     /// Compiles a batch of circuits, fanning out over the service's pool; see
     /// [`Compiler::compile_batch`] for the determinism and thread-budget
-    /// guarantees.
+    /// guarantees (including the shared-cache warm-up).
+    ///
+    /// Requests already in the compile cache are answered without compiling,
+    /// and duplicate circuits within the batch compile once — both receive
+    /// results bit-identical to a fresh compile, because compilation is
+    /// deterministic. Per-circuit errors are reported in place, exactly as
+    /// [`Compiler::compile_batch`] does.
     pub fn compile_batch(
         &self,
         circuits: &[Circuit],
         options: &CompilerOptions,
     ) -> Vec<Result<CompilationResult, CompileError>> {
-        self.compiler().compile_batch(circuits, options)
+        if circuits.is_empty() {
+            return Vec::new();
+        }
+        let keys: Vec<Vec<u8>> = circuits
+            .iter()
+            .map(|c| request_fingerprint(c, options))
+            .collect();
+        let mut out: Vec<Option<Result<CompilationResult, CompileError>>> =
+            vec![None; circuits.len()];
+        // Resolve cache hits; assign every remaining distinct fingerprint one
+        // representative index to compile.
+        let mut representative: HashMap<&[u8], usize> = HashMap::new();
+        let mut to_compile: Vec<usize> = Vec::new();
+        for (i, key) in keys.iter().enumerate() {
+            if self.cache.enabled() {
+                if let Some(hit) = self.cache.get(key) {
+                    out[i] = Some(Ok((*hit).clone()));
+                    continue;
+                }
+            }
+            if !representative.contains_key(key.as_slice()) {
+                representative.insert(key, i);
+                to_compile.push(i);
+            }
+        }
+        let unique: Vec<Circuit> = to_compile.iter().map(|&i| circuits[i].clone()).collect();
+        let compiled = self.compiler().compile_batch(&unique, options);
+        for (&i, result) in to_compile.iter().zip(compiled) {
+            if self.cache.enabled() {
+                if let Ok(r) = &result {
+                    self.cache.insert(keys[i].clone(), Arc::new(r.clone()));
+                }
+            }
+            out[i] = Some(result);
+        }
+        // Duplicates copy their representative's result.
+        for i in 0..circuits.len() {
+            if out[i].is_none() {
+                let &rep = representative
+                    .get(keys[i].as_slice())
+                    .expect("every non-hit key has a representative");
+                out[i] = out[rep].clone();
+            }
+        }
+        out.into_iter()
+            .map(|r| r.expect("every batch entry resolved"))
+            .collect()
     }
 }
 
@@ -205,5 +410,91 @@ mod tests {
         assert!(service
             .compile_batch(&[], &CompilerOptions::default())
             .is_empty());
+    }
+
+    #[test]
+    fn repeated_compiles_hit_the_compile_cache_bit_identically() {
+        let device = Device::transmon_line(2);
+        let service = CompileService::new(&device);
+        let options = CompilerOptions::strategy(Strategy::ClsAggregation);
+        let first = service.compile(&toy(), &options).unwrap();
+        let second = service.compile(&toy(), &options).unwrap();
+        assert_eq!(
+            first.total_latency_ns.to_bits(),
+            second.total_latency_ns.to_bits()
+        );
+        assert_eq!(first.instructions, second.instructions);
+        let stats = service.compile_cache_stats();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (1, 1, 1));
+
+        // Different options are a different request.
+        let other = service
+            .compile(&toy(), &CompilerOptions::strategy(Strategy::Cls))
+            .unwrap();
+        assert!(other.total_latency_ns > 0.0);
+        let stats = service.compile_cache_stats();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (1, 2, 2));
+    }
+
+    #[test]
+    fn compile_cache_capacity_bounds_entries_and_zero_disables() {
+        let device = Device::transmon_line(3);
+        let service = CompileService::new(&device).with_compile_cache(2);
+        for n in [1usize, 2, 3, 1] {
+            let mut c = Circuit::new(3);
+            for q in 0..n {
+                c.push(Gate::H, &[q]);
+            }
+            service
+                .compile(&c, &CompilerOptions::strategy(Strategy::IsaBaseline))
+                .unwrap();
+        }
+        // Three distinct requests through capacity 2: the first was evicted,
+        // so its re-compile missed again.
+        let stats = service.compile_cache_stats();
+        assert_eq!(stats.entries, 2);
+        assert_eq!(stats.hits, 0);
+        assert_eq!(stats.misses, 4);
+
+        let disabled = CompileService::new(&device).with_compile_cache(0);
+        disabled
+            .compile(&toy(), &CompilerOptions::default())
+            .unwrap();
+        disabled
+            .compile(&toy(), &CompilerOptions::default())
+            .unwrap();
+        let stats = disabled.compile_cache_stats();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (0, 0, 0));
+    }
+
+    #[test]
+    fn batch_dedups_duplicates_and_serves_cache_hits() {
+        let device = Device::transmon_line(2);
+        let service = CompileService::new(&device);
+        let options = CompilerOptions::strategy(Strategy::ClsAggregation);
+        let batch = vec![toy(), toy(), toy()];
+        let results = service.compile_batch(&batch, &options);
+        assert_eq!(results.len(), 3);
+        let bits: Vec<u64> = results
+            .iter()
+            .map(|r| r.as_ref().unwrap().total_latency_ns.to_bits())
+            .collect();
+        assert!(bits.windows(2).all(|w| w[0] == w[1]));
+        // One compile for three identical requests…
+        assert_eq!(service.compile_cache_stats().entries, 1);
+        // …and a repeat batch is pure cache hits.
+        let before = service.compile_cache_stats().hits;
+        let again = service.compile_batch(&batch, &options);
+        assert_eq!(service.compile_cache_stats().hits, before + 3);
+        assert_eq!(
+            again[0].as_ref().unwrap().total_latency_ns.to_bits(),
+            bits[0]
+        );
+        // Matches a fresh uncached compile bit-for-bit.
+        let fresh = CompileService::new(&device)
+            .with_compile_cache(0)
+            .compile(&toy(), &options)
+            .unwrap();
+        assert_eq!(fresh.total_latency_ns.to_bits(), bits[0]);
     }
 }

@@ -25,6 +25,34 @@ use crate::device::ControlLimits;
 use qcc_ir::{Gate, Instruction};
 use std::collections::HashMap;
 use std::f64::consts::{FRAC_PI_2, FRAC_PI_4, PI};
+use threadpool::ThreadPool;
+
+/// Cumulative pricing-activity counters of an instrumented latency model:
+/// how many `aggregate_latency` queries it has answered (single and batched)
+/// and how many of those required an actual solve (cache misses). Compilation
+/// passes snapshot these before/after running to attribute solves per pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PricingStats {
+    /// Total aggregate-latency queries answered.
+    pub queries: usize,
+    /// Queries that performed an actual pricing computation (cache misses).
+    pub solves: usize,
+}
+
+impl PricingStats {
+    /// Queries served from a cache instead of solving (`queries - solves`).
+    pub fn cache_hits(&self) -> usize {
+        self.queries.saturating_sub(self.solves)
+    }
+
+    /// Component-wise `self - earlier`: the activity between two snapshots.
+    pub fn delta_since(&self, earlier: &PricingStats) -> PricingStats {
+        PricingStats {
+            queries: self.queries.saturating_sub(earlier.queries),
+            solves: self.solves.saturating_sub(earlier.solves),
+        }
+    }
+}
 
 /// Latency oracle used by the scheduler and the instruction-aggregation loop.
 pub trait LatencyModel: Send + Sync {
@@ -37,12 +65,39 @@ pub trait LatencyModel: Send + Sync {
     /// constituent gate sequence as one optimized pulse.
     fn aggregate_latency(&self, constituents: &[Instruction]) -> f64;
 
+    /// Prices a whole batch of aggregated instructions, returning one latency
+    /// per query in input order.
+    ///
+    /// Must return exactly the values a sequential loop of
+    /// [`aggregate_latency`](Self::aggregate_latency) calls would — callers
+    /// (the speculative aggregation search, the pricing passes, the batch
+    /// front door) rely on that for bit-identical parallel compilation. The
+    /// default fans the independent queries over `pool` when the model opts
+    /// into [`parallel_pricing`](Self::parallel_pricing) and prices serially
+    /// on the calling thread otherwise (a pool of one never spawns). Cached
+    /// models override this to dedup repeated keys and solve only the unique
+    /// misses concurrently.
+    fn aggregate_latency_batch(&self, queries: &[&[Instruction]], pool: &ThreadPool) -> Vec<f64> {
+        if self.parallel_pricing() && pool.threads() > 1 {
+            pool.parallel_map(queries, |q| self.aggregate_latency(q))
+        } else {
+            queries.iter().map(|q| self.aggregate_latency(q)).collect()
+        }
+    }
+
     /// Whether one `aggregate_latency` query is expensive enough (e.g. a
     /// numerical optimal-control solve) that independent queries are worth
     /// fanning out over threads. Cheap analytic models keep the default
     /// `false`, so callers skip the thread-spawn overhead and price serially.
     fn parallel_pricing(&self) -> bool {
         false
+    }
+
+    /// Cumulative pricing counters, for models that instrument their cache
+    /// (e.g. the GRAPE model). Uninstrumented models return `None` and pass
+    /// reports simply omit the pricing column.
+    fn pricing_stats(&self) -> Option<PricingStats> {
+        None
     }
 
     /// Human-readable name for reports.
@@ -337,6 +392,46 @@ mod tests {
         assert!((interaction_area(&Gate::Swap) - 1.5 * PI).abs() < 1e-12);
         assert!(interaction_area(&Gate::Rzz(0.2)) < interaction_area(&Gate::Cnot));
         assert!(interaction_area(&Gate::H).abs() < 1e-12);
+    }
+
+    #[test]
+    fn default_batch_pricing_matches_sequential_queries() {
+        let m = CalibratedLatencyModel::asplos19();
+        let a = vec![inst(Gate::Cnot, &[0, 1]), inst(Gate::Rz(0.4), &[1])];
+        let b = vec![inst(Gate::H, &[2])];
+        let c = vec![inst(Gate::Cnot, &[0, 1]), inst(Gate::Rz(0.4), &[1])]; // dup of a
+        let queries: Vec<&[Instruction]> = vec![&a, &b, &c];
+        let expected: Vec<f64> = queries.iter().map(|q| m.aggregate_latency(q)).collect();
+        // Analytic model: the default impl prices serially regardless of pool.
+        for pool in [ThreadPool::serial(), ThreadPool::new(4)] {
+            let got = m.aggregate_latency_batch(&queries, &pool);
+            for (g, e) in got.iter().zip(&expected) {
+                assert_eq!(g.to_bits(), e.to_bits());
+            }
+        }
+        assert!(m.pricing_stats().is_none());
+    }
+
+    #[test]
+    fn pricing_stats_delta_and_hits() {
+        let a = PricingStats {
+            queries: 10,
+            solves: 4,
+        };
+        let b = PricingStats {
+            queries: 25,
+            solves: 7,
+        };
+        assert_eq!(a.cache_hits(), 6);
+        let d = b.delta_since(&a);
+        assert_eq!(
+            d,
+            PricingStats {
+                queries: 15,
+                solves: 3
+            }
+        );
+        assert_eq!(d.cache_hits(), 12);
     }
 
     #[test]

@@ -26,5 +26,7 @@ pub mod latency;
 pub mod topology;
 
 pub use device::{ControlLimits, Device, InteractionType};
-pub use latency::{interaction_area, CalibratedLatencyModel, GateTimeTable, LatencyModel};
+pub use latency::{
+    interaction_area, CalibratedLatencyModel, GateTimeTable, LatencyModel, PricingStats,
+};
 pub use topology::Topology;

@@ -65,6 +65,20 @@ impl Instruction {
     pub fn embedded_matrix(&self, n: usize) -> CMatrix {
         self.gate.matrix().embed(n, &self.qubits)
     }
+
+    /// Appends an injective byte encoding of the instruction to `out`: the
+    /// gate's encoding ([`Gate::encode_into`]) followed by the operand count
+    /// and each qubit index, little-endian. Concatenating instruction
+    /// encodings yields a prefix-free stream, so two gate *sequences* encode
+    /// identically only when they are identical — the property cache keys and
+    /// circuit fingerprints need.
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        self.gate.encode_into(out);
+        out.push(self.qubits.len() as u8);
+        for &q in &self.qubits {
+            out.extend_from_slice(&(q as u64).to_le_bytes());
+        }
+    }
 }
 
 impl fmt::Display for Instruction {
@@ -335,6 +349,42 @@ mod tests {
         c.push(Gate::H, &[0]);
         c.push(Gate::Cnot, &[0, 1]);
         c
+    }
+
+    #[test]
+    fn instruction_encoding_is_injective() {
+        let encode = |insts: &[Instruction]| {
+            let mut key = Vec::new();
+            for inst in insts {
+                inst.encode_into(&mut key);
+            }
+            key
+        };
+        // Gate order matters (X·H vs H·X), nearby angles differ bit-wise, and
+        // the same gate on different qubits keys separately.
+        let xh = [
+            Instruction::new(Gate::X, vec![0]),
+            Instruction::new(Gate::H, vec![0]),
+        ];
+        let hx = [
+            Instruction::new(Gate::H, vec![0]),
+            Instruction::new(Gate::X, vec![0]),
+        ];
+        assert_ne!(encode(&xh), encode(&hx));
+        assert_ne!(
+            encode(&[Instruction::new(Gate::Rz(0.40001), vec![0])]),
+            encode(&[Instruction::new(Gate::Rz(0.40004), vec![0])])
+        );
+        assert_ne!(
+            encode(&[Instruction::new(Gate::Rz(0.4), vec![0])]),
+            encode(&[Instruction::new(Gate::Rx(0.4), vec![0])])
+        );
+        assert_ne!(
+            encode(&[Instruction::new(Gate::Cnot, vec![0, 1])]),
+            encode(&[Instruction::new(Gate::Cnot, vec![1, 0])])
+        );
+        // Identical sequences encode identically.
+        assert_eq!(encode(&xh), encode(&xh));
     }
 
     #[test]

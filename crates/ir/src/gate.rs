@@ -146,6 +146,49 @@ impl Gate {
         }
     }
 
+    /// Stable one-byte discriminant used by [`encode_into`](Self::encode_into).
+    fn variant_tag(&self) -> u8 {
+        use Gate::*;
+        match self {
+            I => 0,
+            X => 1,
+            Y => 2,
+            Z => 3,
+            H => 4,
+            S => 5,
+            Sdg => 6,
+            T => 7,
+            Tdg => 8,
+            Rx(_) => 9,
+            Ry(_) => 10,
+            Rz(_) => 11,
+            Phase(_) => 12,
+            Cnot => 13,
+            Cz => 14,
+            CPhase(_) => 15,
+            Swap => 16,
+            ISwap => 17,
+            SqrtISwap => 18,
+            Rzz(_) => 19,
+            Rxy(_) => 20,
+            Toffoli => 21,
+            Fredkin => 22,
+        }
+    }
+
+    /// Appends an injective byte encoding of the gate to `out`: a one-byte
+    /// variant tag, followed by the raw IEEE-754 bit pattern of the parameter
+    /// (`f64::to_bits`, little-endian) for parameterized gates. Angles that
+    /// differ in any bit therefore never collide — unlike a fixed-precision
+    /// textual rendering — and the encoding is cheaper to build than any
+    /// `format!`-based key.
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        out.push(self.variant_tag());
+        if let Some(t) = self.parameter() {
+            out.extend_from_slice(&t.to_bits().to_le_bytes());
+        }
+    }
+
     /// Exact unitary matrix of the gate (dimension `2^arity`).
     pub fn matrix(&self) -> CMatrix {
         use Gate::*;

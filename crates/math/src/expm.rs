@@ -28,6 +28,34 @@ const PADE13: [f64; 14] = [
     1.0,
 ];
 
+/// Reusable scratch for the matrix exponential: every intermediate of the
+/// Padé(13) evaluation (`A`'s powers, the two polynomial accumulators, the
+/// numerator/denominator) lives in this workspace, so a caller exponentiating
+/// many same-dimension matrices — the per-step propagators of a GRAPE
+/// iteration — reallocates nothing between calls
+/// ([`expm_with`]/[`try_expm_with`]). A fresh workspace starts empty; buffers
+/// are shaped on first use.
+#[derive(Debug, Default)]
+pub struct ExpmWorkspace {
+    scaled: CMatrix,
+    a2: CMatrix,
+    a4: CMatrix,
+    a6: CMatrix,
+    poly: CMatrix,
+    tail: CMatrix,
+    u: CMatrix,
+    v: CMatrix,
+    id: CMatrix,
+    square: CMatrix,
+}
+
+impl ExpmWorkspace {
+    /// An empty workspace (buffers are allocated lazily by the first call).
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
 /// Computes the matrix exponential `e^A` of a square complex matrix.
 ///
 /// Uses the Padé(13) approximant with scaling and squaring; the scaling factor
@@ -49,6 +77,16 @@ pub fn expm(a: &CMatrix) -> CMatrix {
     try_expm(a).expect("expm: non-finite input")
 }
 
+/// [`expm`] with an explicit scratch workspace — the allocation-free hot path
+/// for repeated exponentials of same-dimension matrices.
+///
+/// # Panics
+///
+/// Panics under the same conditions as [`expm`].
+pub fn expm_with(a: &CMatrix, ws: &mut ExpmWorkspace) -> CMatrix {
+    try_expm_with(a, ws).expect("expm: non-finite input")
+}
+
 /// Fallible variant of [`expm`].
 ///
 /// # Errors
@@ -56,6 +94,16 @@ pub fn expm(a: &CMatrix) -> CMatrix {
 /// Returns a [`LinalgError`] when the Padé denominator cannot be inverted,
 /// which only happens for inputs containing NaN/Inf entries.
 pub fn try_expm(a: &CMatrix) -> Result<CMatrix, LinalgError> {
+    try_expm_with(a, &mut ExpmWorkspace::new())
+}
+
+/// Fallible variant of [`expm_with`].
+///
+/// # Errors
+///
+/// Returns a [`LinalgError`] when the Padé denominator cannot be inverted,
+/// which only happens for inputs containing NaN/Inf entries.
+pub fn try_expm_with(a: &CMatrix, ws: &mut ExpmWorkspace) -> Result<CMatrix, LinalgError> {
     assert!(a.is_square(), "expm requires a square matrix");
     let n = a.rows();
     let norm = a.one_norm();
@@ -63,47 +111,55 @@ pub fn try_expm(a: &CMatrix) -> Result<CMatrix, LinalgError> {
     // accurate to double precision.
     let theta13 = 5.371920351148152;
     let mut squarings = 0u32;
-    let scaled = if norm > theta13 {
+    let a1: &CMatrix = if norm > theta13 {
         squarings = ((norm / theta13).log2().ceil()).max(0.0) as u32;
-        a.scale_re(1.0 / (2f64.powi(squarings as i32)))
+        ws.scaled
+            .scale_into(a, C64::real(1.0 / (2f64.powi(squarings as i32))));
+        &ws.scaled
     } else {
-        a.clone()
+        a
     };
 
-    let a1 = scaled;
-    let a2 = a1.matmul(&a1);
-    let a4 = a2.matmul(&a2);
-    let a6 = a2.matmul(&a4);
-    let id = CMatrix::identity(n);
+    a1.matmul_into(a1, &mut ws.a2);
+    ws.a2.matmul_into(&ws.a2, &mut ws.a4);
+    ws.a2.matmul_into(&ws.a4, &mut ws.a6);
+    if ws.id.rows() != n {
+        ws.id = CMatrix::identity(n);
+    }
 
     let b = &PADE13;
     // U = A * (A6*(b13*A6 + b11*A4 + b9*A2) + b7*A6 + b5*A4 + b3*A2 + b1*I)
-    let mut w1 = a6.scale_re(b[13]);
-    w1 += &a4.scale_re(b[11]);
-    w1 += &a2.scale_re(b[9]);
-    let mut w2 = a6.scale_re(b[7]);
-    w2 += &a4.scale_re(b[5]);
-    w2 += &a2.scale_re(b[3]);
-    w2 += &id.scale_re(b[1]);
-    let w = &a6.matmul(&w1) + &w2;
-    let u = a1.matmul(&w);
+    ws.poly.scale_into(&ws.a6, C64::real(b[13]));
+    ws.poly.add_scaled(&ws.a4, C64::real(b[11]));
+    ws.poly.add_scaled(&ws.a2, C64::real(b[9]));
+    ws.tail.scale_into(&ws.a6, C64::real(b[7]));
+    ws.tail.add_scaled(&ws.a4, C64::real(b[5]));
+    ws.tail.add_scaled(&ws.a2, C64::real(b[3]));
+    ws.tail.add_scaled(&ws.id, C64::real(b[1]));
+    ws.a6.matmul_into(&ws.poly, &mut ws.square);
+    ws.square += &ws.tail;
+    a1.matmul_into(&ws.square, &mut ws.u);
 
     // V = A6*(b12*A6 + b10*A4 + b8*A2) + b6*A6 + b4*A4 + b2*A2 + b0*I
-    let mut z1 = a6.scale_re(b[12]);
-    z1 += &a4.scale_re(b[10]);
-    z1 += &a2.scale_re(b[8]);
-    let mut z2 = a6.scale_re(b[6]);
-    z2 += &a4.scale_re(b[4]);
-    z2 += &a2.scale_re(b[2]);
-    z2 += &id.scale_re(b[0]);
-    let v = &a6.matmul(&z1) + &z2;
+    ws.poly.scale_into(&ws.a6, C64::real(b[12]));
+    ws.poly.add_scaled(&ws.a4, C64::real(b[10]));
+    ws.poly.add_scaled(&ws.a2, C64::real(b[8]));
+    ws.tail.scale_into(&ws.a6, C64::real(b[6]));
+    ws.tail.add_scaled(&ws.a4, C64::real(b[4]));
+    ws.tail.add_scaled(&ws.a2, C64::real(b[2]));
+    ws.tail.add_scaled(&ws.id, C64::real(b[0]));
+    ws.a6.matmul_into(&ws.poly, &mut ws.v);
+    ws.v += &ws.tail;
 
-    // exp(A) ≈ (V - U)^{-1} (V + U)
-    let numer = &v + &u;
-    let denom = &v - &u;
-    let mut result = solve_matrix(&denom, &numer)?;
+    // exp(A) ≈ (V - U)^{-1} (V + U): build V+U in `poly` and V-U in `tail`.
+    ws.poly.copy_from(&ws.v);
+    ws.poly += &ws.u;
+    ws.tail.copy_from(&ws.v);
+    ws.tail -= &ws.u;
+    let mut result = solve_matrix(&ws.tail, &ws.poly)?;
     for _ in 0..squarings {
-        result = result.matmul(&result);
+        result.matmul_into(&result, &mut ws.square);
+        std::mem::swap(&mut result, &mut ws.square);
     }
     Ok(result)
 }
@@ -182,6 +238,45 @@ mod tests {
         assert!(e[(0, 0)].approx_eq(C64::cis(-40.0), 1e-9));
         assert!(e[(1, 1)].approx_eq(C64::cis(40.0), 1e-9));
         assert!(e.is_unitary(1e-10));
+    }
+
+    #[test]
+    fn workspace_reuse_is_bit_identical_across_calls_and_dimensions() {
+        // One workspace exponentiating a stream of matrices — including a
+        // dimension change and a large-norm input that exercises the
+        // scaling-and-squaring path — must reproduce the fresh-workspace
+        // results exactly.
+        let inputs = vec![
+            pauli_x().scale(c64(0.0, -0.4)),
+            pauli_z().scale(c64(0.0, 37.0)), // large norm: squarings > 0
+            CMatrix::from_rows(&[
+                &[c64(0.3, 0.0), c64(1.2, -0.7), c64(-0.4, 0.1)],
+                &[c64(1.2, 0.7), c64(-0.5, 0.0), c64(0.9, 0.3)],
+                &[c64(-0.4, -0.1), c64(0.9, -0.3), c64(1.1, 0.0)],
+            ])
+            .scale(c64(0.0, -1.3)),
+            pauli_x().scale(c64(0.0, 0.9)),
+        ];
+        let mut ws = ExpmWorkspace::new();
+        for a in &inputs {
+            let reused = expm_with(a, &mut ws);
+            let fresh = expm(a);
+            assert_eq!(reused.rows(), fresh.rows());
+            for i in 0..reused.rows() {
+                for j in 0..reused.cols() {
+                    assert_eq!(
+                        reused[(i, j)].re.to_bits(),
+                        fresh[(i, j)].re.to_bits(),
+                        "({i},{j}) re"
+                    );
+                    assert_eq!(
+                        reused[(i, j)].im.to_bits(),
+                        fresh[(i, j)].im.to_bits(),
+                        "({i},{j}) im"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

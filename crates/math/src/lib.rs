@@ -32,7 +32,7 @@ pub mod pauli;
 pub mod random;
 
 pub use complex::{c64, C64};
-pub use expm::{expm, propagator, try_expm};
+pub use expm::{expm, expm_with, propagator, try_expm, try_expm_with, ExpmWorkspace};
 pub use fidelity::{
     average_gate_fidelity, frobenius_distance, gate_fidelity, gate_infidelity,
     phase_invariant_distance, state_fidelity,

@@ -29,6 +29,14 @@ pub struct CMatrix {
     data: Vec<C64>,
 }
 
+impl Default for CMatrix {
+    /// An empty `0 × 0` matrix — the placeholder state of reusable workspace
+    /// buffers, which the `*_into` operations reshape on first use.
+    fn default() -> Self {
+        CMatrix::zeros(0, 0)
+    }
+}
+
 impl CMatrix {
     /// Creates a `rows × cols` matrix filled with zeros.
     pub fn zeros(rows: usize, cols: usize) -> Self {
@@ -217,10 +225,31 @@ impl CMatrix {
     ///
     /// Panics on inner-dimension mismatch.
     pub fn matmul(&self, rhs: &CMatrix) -> CMatrix {
-        assert_eq!(self.cols, rhs.rows, "matmul dimension mismatch");
         let mut out = CMatrix::zeros(self.rows, rhs.cols);
-        // ikj loop order: the inner loop walks contiguous memory of both
-        // `rhs` and `out`, which matters for the 1024×1024 unitaries.
+        self.matmul_into(rhs, &mut out);
+        out
+    }
+
+    /// Writes `self * rhs` into `out`, reusing `out`'s allocation (it is
+    /// reshaped to `self.rows × rhs.cols`). Arithmetic is identical to
+    /// [`matmul`](Self::matmul) — the ikj loop order whose inner loop walks
+    /// contiguous memory of both `rhs` and `out`, which matters for the
+    /// 1024×1024 unitaries — so results are bit-for-bit the same. `self` and
+    /// `rhs` may alias each other (squaring), but neither may alias `out`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on inner-dimension mismatch or when `out` aliases an operand.
+    pub fn matmul_into(&self, rhs: &CMatrix, out: &mut CMatrix) {
+        assert_eq!(self.cols, rhs.rows, "matmul dimension mismatch");
+        assert!(
+            !std::ptr::eq(self, out) && !std::ptr::eq(rhs, out),
+            "matmul_into: `out` must not alias an operand"
+        );
+        out.rows = self.rows;
+        out.cols = rhs.cols;
+        out.data.clear();
+        out.data.resize(self.rows * rhs.cols, C64::zero());
         for i in 0..self.rows {
             for k in 0..self.cols {
                 let a = self[(i, k)];
@@ -234,7 +263,37 @@ impl CMatrix {
                 }
             }
         }
-        out
+    }
+
+    /// Overwrites `self` with a copy of `src`, reusing the allocation.
+    pub fn copy_from(&mut self, src: &CMatrix) {
+        self.rows = src.rows;
+        self.cols = src.cols;
+        self.data.clear();
+        self.data.extend_from_slice(&src.data);
+    }
+
+    /// Writes `src * s` into `self`, reusing the allocation. Arithmetic is
+    /// identical to [`scale`](Self::scale).
+    pub fn scale_into(&mut self, src: &CMatrix, s: C64) {
+        self.rows = src.rows;
+        self.cols = src.cols;
+        self.data.clear();
+        self.data.extend(src.data.iter().map(|&c| c * s));
+    }
+
+    /// Adds `rhs * s` to `self` element-wise, allocating nothing. Arithmetic
+    /// is identical to `self += &rhs.scale(s)` (multiply, then accumulate).
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn add_scaled(&mut self, rhs: &CMatrix, s: C64) {
+        assert_eq!(self.rows, rhs.rows, "add_scaled shape mismatch");
+        assert_eq!(self.cols, rhs.cols, "add_scaled shape mismatch");
+        for (a, &b) in self.data.iter_mut().zip(rhs.data.iter()) {
+            *a += b * s;
+        }
     }
 
     /// Matrix-vector product `self * v`.
@@ -582,6 +641,41 @@ mod tests {
         let id = CMatrix::identity(2);
         assert!(x.matmul(&id).approx_eq(&x, 1e-14));
         assert!(id.matmul(&x).approx_eq(&x, 1e-14));
+    }
+
+    #[test]
+    fn into_variants_match_allocating_ops_bit_for_bit() {
+        let a = CMatrix::from_rows(&[
+            &[c64(0.3, -1.2), c64(0.0, 0.7)],
+            &[c64(-0.5, 0.1), c64(2.0, 0.0)],
+        ]);
+        let b = CMatrix::from_rows(&[
+            &[c64(1.1, 0.4), c64(-0.2, 0.0)],
+            &[c64(0.0, -0.9), c64(0.6, 0.3)],
+        ]);
+        let s = c64(0.7, -0.25);
+
+        // matmul_into reuses a wrong-shaped buffer and still matches matmul.
+        let mut out = CMatrix::zeros(5, 1);
+        a.matmul_into(&b, &mut out);
+        assert_eq!(out, a.matmul(&b));
+        // Squaring aliases both operands.
+        a.matmul_into(&a, &mut out);
+        assert_eq!(out, a.matmul(&a));
+
+        let mut scaled = CMatrix::zeros(0, 0);
+        scaled.scale_into(&a, s);
+        assert_eq!(scaled, a.scale(s));
+
+        let mut acc = a.clone();
+        acc.add_scaled(&b, s);
+        let mut want = a.clone();
+        want += &b.scale(s);
+        assert_eq!(acc, want);
+
+        let mut copy = CMatrix::zeros(1, 7);
+        copy.copy_from(&b);
+        assert_eq!(copy, b);
     }
 
     #[test]
