@@ -1,0 +1,111 @@
+//! Serving-layer throughput: a mixed interactive + batch request stream
+//! through `CompileService::serve`, compared against compiling the same
+//! requests one-by-one through the synchronous front door.
+//!
+//! The staged pipeline overlaps the passes of different requests, so on
+//! multi-core machines the served wall-clock should be at or below the
+//! serial wall-clock; on a single core it should match (staging adds
+//! hand-offs, not work). Per-mode wall-clock timings are recorded for the
+//! machine-readable bench log (`QCC_BENCH_JSON`).
+
+use qcc_bench::{banner, record_compile_timing, render_table, scale_from_env, write_bench_json};
+use qcc_core::{CompileService, CompilerOptions, Priority, ServeConfig, Strategy, SubmitOptions};
+use qcc_hw::Device;
+use qcc_ir::Circuit;
+use qcc_workloads::standard_suite;
+use std::time::Instant;
+
+fn main() {
+    banner(
+        "Serving throughput — staged pipeline vs one-by-one compiles",
+        "the §3 compilation flow, under serving load",
+    );
+    let suite = standard_suite(scale_from_env(), 2019);
+    // The request mix: every suite circuit as batch traffic under the full
+    // flow, and the three smallest again as interactive CLS traffic.
+    let mut by_size: Vec<&qcc_workloads::Benchmark> = suite.iter().collect();
+    by_size.sort_by_key(|b| b.circuit.len());
+    let interactive: Vec<Circuit> = by_size.iter().take(3).map(|b| b.circuit.clone()).collect();
+    let batch: Vec<Circuit> = suite.iter().map(|b| b.circuit.clone()).collect();
+    let n_qubits = suite
+        .iter()
+        .map(|b| b.n_qubits())
+        .max()
+        .expect("suite is non-empty");
+    let device = Device::transmon_grid(n_qubits);
+    let interactive_options = CompilerOptions::strategy(Strategy::Cls);
+    let batch_options = CompilerOptions::strategy(Strategy::ClsAggregation);
+
+    // Serial reference: the synchronous front door, one request at a time.
+    // A fresh cache-less service per mode keeps the comparison honest.
+    let serial_service = CompileService::new(&device).with_compile_cache(0);
+    let started = Instant::now();
+    for c in &batch {
+        serial_service
+            .compile(c, &batch_options)
+            .expect("grid sized for the suite");
+    }
+    for c in &interactive {
+        serial_service
+            .compile(c, &interactive_options)
+            .expect("grid sized for the suite");
+    }
+    let serial_seconds = started.elapsed().as_secs_f64();
+    record_compile_timing("serve-mix-serial", Strategy::ClsAggregation, serial_seconds);
+
+    // Served: the same mix submitted up front, batch behind interactive.
+    let served_service = CompileService::new(&device).with_compile_cache(0);
+    let started = Instant::now();
+    served_service.serve(ServeConfig::default(), |handle| {
+        let tickets: Vec<_> = batch
+            .iter()
+            .map(|c| {
+                handle
+                    .submit(
+                        c,
+                        &batch_options,
+                        SubmitOptions::default().priority(Priority::Batch),
+                    )
+                    .expect("default queue holds the suite")
+            })
+            .chain(interactive.iter().map(|c| {
+                handle
+                    .submit(c, &interactive_options, SubmitOptions::default())
+                    .expect("default queue holds the suite")
+            }))
+            .collect();
+        for t in tickets {
+            handle.wait(t).expect("grid sized for the suite");
+        }
+    });
+    let served_seconds = started.elapsed().as_secs_f64();
+    record_compile_timing("serve-mix-staged", Strategy::ClsAggregation, served_seconds);
+
+    let requests = batch.len() + interactive.len();
+    let stats = served_service.compile_cache_stats();
+    println!(
+        "{}",
+        render_table(
+            &["mode", "requests", "wall-clock (s)", "requests/s"],
+            &[
+                vec![
+                    "serial".into(),
+                    requests.to_string(),
+                    format!("{serial_seconds:.3}"),
+                    format!("{:.1}", requests as f64 / serial_seconds),
+                ],
+                vec![
+                    "served (staged)".into(),
+                    requests.to_string(),
+                    format!("{served_seconds:.3}"),
+                    format!("{:.1}", requests as f64 / served_seconds),
+                ],
+            ],
+        )
+    );
+    println!(
+        "served session: {} submitted, {} completed, {} rejected, {} deadline-expired",
+        stats.submitted, stats.completed, stats.rejected, stats.deadline_expired
+    );
+    write_bench_json("service_throughput");
+}

@@ -23,12 +23,21 @@ use qcc_workloads::{Benchmark, SuiteScale};
 use std::sync::Mutex;
 use std::time::Instant;
 
-/// Reads the benchmark scale from the `QCC_BENCH_SCALE` environment variable.
+/// Reads the benchmark scale from the `QCC_BENCH_SCALE` environment variable
+/// (`full`, or `reduced`/`small`, case-insensitive; unset/empty defaults to
+/// the paper's full sizes).
+///
+/// # Panics
+///
+/// Panics with a message naming the offending value when the variable is set
+/// to anything else — a typo'd scale must be a loud startup error, not a
+/// silent full-size (or wrong-size) run.
 pub fn scale_from_env() -> SuiteScale {
-    match std::env::var("QCC_BENCH_SCALE").as_deref() {
-        Ok("reduced") | Ok("REDUCED") | Ok("small") => SuiteScale::Reduced,
-        _ => SuiteScale::Full,
-    }
+    SuiteScale::parse_env(
+        std::env::var("QCC_BENCH_SCALE").ok().as_deref(),
+        SuiteScale::Full,
+    )
+    .unwrap_or_else(|e| panic!("{e}"))
 }
 
 /// Strategies selected by the `QCC_STRATEGY` environment variable.
@@ -40,20 +49,30 @@ pub fn scale_from_env() -> SuiteScale {
 ///
 /// # Panics
 ///
-/// Panics with the parse error when the variable is set to an unknown name.
+/// Panics with a message naming the offending value when the variable is set
+/// to an unknown strategy name.
 pub fn strategies_from_env() -> Vec<Strategy> {
-    match std::env::var("QCC_STRATEGY") {
-        Ok(v) if !v.trim().is_empty() => {
-            let chosen: Strategy = v
-                .parse()
-                .unwrap_or_else(|e| panic!("invalid QCC_STRATEGY: {e}"));
-            if chosen == Strategy::IsaBaseline {
-                vec![chosen]
-            } else {
-                vec![Strategy::IsaBaseline, chosen]
-            }
-        }
-        _ => Strategy::all().to_vec(),
+    strategies_from(std::env::var("QCC_STRATEGY").ok().as_deref()).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Pure parsing unit behind [`strategies_from_env`]: `None` or an
+/// empty/whitespace value selects every strategy; otherwise the value must
+/// parse as a strategy name ([`Strategy`]'s `FromStr`), and the error names
+/// the offending value.
+pub fn strategies_from(value: Option<&str>) -> Result<Vec<Strategy>, String> {
+    let Some(raw) = value else {
+        return Ok(Strategy::all().to_vec());
+    };
+    if raw.trim().is_empty() {
+        return Ok(Strategy::all().to_vec());
+    }
+    let chosen: Strategy = raw
+        .parse()
+        .map_err(|e| format!("invalid QCC_STRATEGY value '{raw}': {e}"))?;
+    if chosen == Strategy::IsaBaseline {
+        Ok(vec![chosen])
+    } else {
+        Ok(vec![Strategy::IsaBaseline, chosen])
     }
 }
 
@@ -284,6 +303,29 @@ mod tests {
         assert_eq!(json_string("plain"), "\"plain\"");
         assert_eq!(json_string("a\"b\\c"), "\"a\\\"b\\\\c\"");
         assert_eq!(json_string("x\ny"), "\"x\\u000ay\"");
+    }
+
+    #[test]
+    fn strategy_env_parsing_selects_and_rejects() {
+        // Pure-function tests: mutating the real environment would race with
+        // sibling test threads reading it (a libc-level hazard).
+        assert_eq!(strategies_from(None), Ok(Strategy::all().to_vec()));
+        assert_eq!(strategies_from(Some("")), Ok(Strategy::all().to_vec()));
+        assert_eq!(strategies_from(Some("  ")), Ok(Strategy::all().to_vec()));
+        assert_eq!(
+            strategies_from(Some("cls+aggregation")),
+            Ok(vec![Strategy::IsaBaseline, Strategy::ClsAggregation])
+        );
+        // The baseline is not duplicated when chosen explicitly.
+        assert_eq!(
+            strategies_from(Some("isa")),
+            Ok(vec![Strategy::IsaBaseline])
+        );
+        for bad in ["clsx", "aggregation+cls", "42"] {
+            let err = strategies_from(Some(bad)).unwrap_err();
+            assert!(err.contains("QCC_STRATEGY"), "{err}");
+            assert!(err.contains(bad), "error must name the value: {err}");
+        }
     }
 
     #[test]

@@ -56,6 +56,7 @@ pub mod passes;
 pub mod pipeline;
 pub mod schedule;
 pub mod service;
+pub mod staged;
 pub mod verify;
 
 pub use aggregate::{AggregationOptions, AggregationStats};
@@ -70,7 +71,11 @@ pub use pipeline::{
 };
 pub use qcc_hw::PricingStats;
 pub use schedule::{asap_schedule, Schedule, ScheduledInstruction};
+pub use service::queue::{
+    PassProgress, Priority, ServeConfig, ServeHandle, ServiceError, SubmitOptions, Ticket,
+};
 pub use service::{
     compile_with_default_model, CompileCacheStats, CompileService, DEFAULT_COMPILE_CACHE_CAPACITY,
 };
+pub use staged::DEFAULT_STAGE_CAPACITY;
 pub use verify::{verify_compilation, verify_sampled_pulses, CircuitVerification};

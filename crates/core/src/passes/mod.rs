@@ -339,28 +339,52 @@ impl Pipeline {
     /// wall-clock timing) per pass.
     pub fn run(&self, ctx: &PassContext) -> Result<PassState, CompileError> {
         let mut state = PassState::default();
-        for pass in &self.passes {
-            let before = ctx.model.pricing_stats();
-            let started = Instant::now();
-            pass.run(&mut state, ctx)?;
-            let wall_time = started.elapsed();
-            // Counter deltas around the pass attribute solve activity to it.
-            // (Under concurrent compiles against one shared model the deltas
-            // include the other compiles' activity — they are serving
-            // telemetry, not an exact per-pass ledger.)
-            let pricing = ctx
-                .model
-                .pricing_stats()
-                .map(|after| after.delta_since(&before.unwrap_or_default()));
-            state.reports.push(PassReport {
-                pass: pass.name(),
-                instructions: state.instructions.len(),
-                gates: state.gate_count(),
-                wall_time,
-                pricing,
-            });
+        for index in 0..self.passes.len() {
+            self.run_pass(index, &mut state, ctx)?;
         }
         Ok(state)
+    }
+
+    /// Runs the single pass at `index` over `state`, recording its
+    /// [`PassReport`] exactly as [`run`](Self::run) does.
+    ///
+    /// This is the unit of work of the staged execution mode
+    /// ([`run_staged`](Self::run_staged) and the
+    /// [`service::queue`](crate::service::queue) workers): driving the passes
+    /// one index at a time through this method is semantically identical to
+    /// one `run` call, so staged output is bit-identical to serial output by
+    /// construction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of bounds.
+    pub fn run_pass(
+        &self,
+        index: usize,
+        state: &mut PassState,
+        ctx: &PassContext,
+    ) -> Result<(), CompileError> {
+        let pass = &self.passes[index];
+        let before = ctx.model.pricing_stats();
+        let started = Instant::now();
+        pass.run(state, ctx)?;
+        let wall_time = started.elapsed();
+        // Counter deltas around the pass attribute solve activity to it.
+        // (Under concurrent compiles against one shared model the deltas
+        // include the other compiles' activity — they are serving
+        // telemetry, not an exact per-pass ledger.)
+        let pricing = ctx
+            .model
+            .pricing_stats()
+            .map(|after| after.delta_since(&before.unwrap_or_default()));
+        state.reports.push(PassReport {
+            pass: pass.name(),
+            instructions: state.instructions.len(),
+            gates: state.gate_count(),
+            wall_time,
+            pricing,
+        });
+        Ok(())
     }
 }
 

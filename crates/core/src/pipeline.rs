@@ -410,17 +410,18 @@ impl<'a> Compiler<'a> {
         finish(state, options.strategy, circuit.n_qubits())
     }
 
-    /// Compiles a batch of circuits under one option set, fanning the circuits
-    /// out over the compiler's thread pool — the serving front door for
-    /// many-circuit workloads.
+    /// Compiles a batch of circuits under one option set by streaming them
+    /// through the strategy's pipeline in **staged** mode
+    /// ([`Pipeline::run_staged`]): the passes become concurrent stages with
+    /// bounded hand-off channels, so circuit *i+1* is flattened while circuit
+    /// *i* aggregates — steady-state throughput instead of per-circuit
+    /// barriers.
     ///
-    /// The thread budget is split between the batch fan-out and the pricing
-    /// loops inside each compile, so the nesting never spawns more than
-    /// ~pool-size threads in total. Results are returned in input order and
-    /// are identical to compiling each circuit serially: the models are
-    /// deterministic and the shared latency cache is compute-once per key, so
-    /// a batch warms the cache exactly as the same circuits compiled one by
-    /// one would.
+    /// Results are returned in input order and are **bit-identical** to
+    /// compiling each circuit serially: every circuit's passes run in recipe
+    /// order over its own state, the models are deterministic, and the shared
+    /// latency cache is compute-once per key, so a batch warms the cache
+    /// exactly as the same circuits compiled one by one would.
     pub fn compile_batch(
         &self,
         circuits: &[Circuit],
@@ -430,13 +431,23 @@ impl<'a> Compiler<'a> {
             return Vec::new();
         }
         self.warm_latency_cache(circuits, options);
-        let inner = Compiler {
-            device: self.device,
-            model: self.model,
-            pool: ThreadPool::new((self.pool.threads() / circuits.len()).max(1)),
-        };
-        self.pool
-            .parallel_map(circuits, |circuit| inner.try_compile(circuit, options))
+        options
+            .strategy
+            .pipeline()
+            .run_staged(
+                circuits,
+                self.device,
+                self.model,
+                options,
+                self.pool.threads(),
+                crate::staged::DEFAULT_STAGE_CAPACITY,
+            )
+            .into_iter()
+            .zip(circuits)
+            .map(|(state, circuit)| {
+                state.and_then(|s| finish(s, options.strategy, circuit.n_qubits()))
+            })
+            .collect()
     }
 
     /// Batch warm-up: pre-prices the routed instruction streams of every
@@ -453,7 +464,7 @@ impl<'a> Compiler<'a> {
     /// solves just happen earlier and on more threads. Skipped when it
     /// cannot pay: uninstrumented cheap models, single-threaded pools, and
     /// per-gate-priced strategies.
-    fn warm_latency_cache(&self, circuits: &[Circuit], options: &CompilerOptions) {
+    pub(crate) fn warm_latency_cache(&self, circuits: &[Circuit], options: &CompilerOptions) {
         if !self.model.parallel_pricing()
             || self.pool.threads() <= 1
             || !options.strategy.pulse_per_instruction()
@@ -523,7 +534,7 @@ impl<'a> Compiler<'a> {
 }
 
 /// Packages a finished [`PassState`] as a [`CompilationResult`].
-fn finish(
+pub(crate) fn finish(
     state: PassState,
     strategy: Strategy,
     n_qubits: usize,

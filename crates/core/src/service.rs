@@ -1,11 +1,18 @@
 //! The serving front door: an owning [`CompileService`] around the borrowing
 //! [`Compiler`] with a bounded compile-result cache, plus the shared
 //! default-model cache behind [`compile_with_default_model`].
+//!
+//! Streaming (async-style) serving — bounded admission queue, priorities,
+//! deadlines, per-pass progress — lives in the [`queue`] submodule and is
+//! entered through [`CompileService::serve`].
+
+pub mod queue;
 
 use crate::passes::CompileError;
 use crate::pipeline::{CompilationResult, Compiler, CompilerOptions};
 use qcc_hw::{CalibratedLatencyModel, ControlLimits, Device, LatencyModel};
 use qcc_ir::Circuit;
+use queue::{ServeConfig, ServeHandle, ServiceError, SubmitOptions};
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
@@ -14,7 +21,8 @@ use threadpool::ThreadPool;
 /// Default capacity (in cached results) of the service's compile cache.
 pub const DEFAULT_COMPILE_CACHE_CAPACITY: usize = 64;
 
-/// Summary of the service's compile-cache activity, for telemetry and tests.
+/// Summary of the service's compile-cache and request-queue activity, for
+/// telemetry and tests.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct CompileCacheStats {
     /// Requests answered from the cache.
@@ -23,6 +31,30 @@ pub struct CompileCacheStats {
     pub misses: usize,
     /// Results currently cached.
     pub entries: usize,
+    /// Requests accepted by the service (cache hits included), across both
+    /// the synchronous entry points and serving sessions.
+    pub submitted: usize,
+    /// Requests that ran to completion (successful compiles, cache hits, and
+    /// compile errors alike). Deadline-cancelled requests count under
+    /// [`deadline_expired`](Self::deadline_expired) instead, so the terminal
+    /// outcomes of admitted requests partition as
+    /// `submitted == completed + deadline_expired` once a session drains.
+    pub completed: usize,
+    /// Requests rejected with [`queue::ServiceError::QueueFull`] because the
+    /// bounded admission queue was at capacity.
+    pub rejected: usize,
+    /// Requests cancelled mid-pipeline because their deadline lapsed.
+    pub deadline_expired: usize,
+}
+
+/// Lifetime request counters of one service, shared by the synchronous entry
+/// points and every serving session.
+#[derive(Default)]
+struct ServiceCounters {
+    submitted: AtomicUsize,
+    completed: AtomicUsize,
+    rejected: AtomicUsize,
+    deadline_expired: AtomicUsize,
 }
 
 /// A bounded LRU cache of compilation results keyed by the request
@@ -100,6 +132,7 @@ impl CompileCache {
                 .expect("compile cache poisoned")
                 .map
                 .len(),
+            ..CompileCacheStats::default()
         }
     }
 }
@@ -169,6 +202,7 @@ pub struct CompileService<'d> {
     model: Box<dyn LatencyModel + 'd>,
     pool: ThreadPool,
     cache: CompileCache,
+    counters: ServiceCounters,
 }
 
 impl<'d> CompileService<'d> {
@@ -187,6 +221,7 @@ impl<'d> CompileService<'d> {
             model,
             pool: ThreadPool::with_default_parallelism(),
             cache: CompileCache::new(DEFAULT_COMPILE_CACHE_CAPACITY),
+            counters: ServiceCounters::default(),
         }
     }
 
@@ -204,9 +239,16 @@ impl<'d> CompileService<'d> {
         self
     }
 
-    /// Hit/miss/entry counts of the compile cache.
+    /// Hit/miss/entry counts of the compile cache, plus the service's
+    /// lifetime request counters (submitted/completed/rejected/
+    /// deadline-expired across every entry point and serving session).
     pub fn compile_cache_stats(&self) -> CompileCacheStats {
-        self.cache.stats()
+        let mut stats = self.cache.stats();
+        stats.submitted = self.counters.submitted.load(Ordering::Relaxed);
+        stats.completed = self.counters.completed.load(Ordering::Relaxed);
+        stats.rejected = self.counters.rejected.load(Ordering::Relaxed);
+        stats.deadline_expired = self.counters.deadline_expired.load(Ordering::Relaxed);
+        stats
     }
 
     /// The device this service compiles for.
@@ -228,21 +270,36 @@ impl<'d> CompileService<'d> {
         circuit: &Circuit,
         options: &CompilerOptions,
     ) -> Result<CompilationResult, CompileError> {
+        self.counters.submitted.fetch_add(1, Ordering::Relaxed);
         if !self.cache.enabled() {
-            return self.compiler().try_compile(circuit, options);
+            let result = self.compiler().try_compile(circuit, options);
+            self.counters.completed.fetch_add(1, Ordering::Relaxed);
+            return result;
         }
         let key = request_fingerprint(circuit, options);
         if let Some(hit) = self.cache.get(&key) {
+            self.counters.completed.fetch_add(1, Ordering::Relaxed);
             return Ok((*hit).clone());
         }
-        let result = self.compiler().try_compile(circuit, options)?;
+        let result = self.compiler().try_compile(circuit, options);
+        self.counters.completed.fetch_add(1, Ordering::Relaxed);
+        let result = result?;
         self.cache.insert(key, Arc::new(result.clone()));
         Ok(result)
     }
 
-    /// Compiles a batch of circuits, fanning out over the service's pool; see
-    /// [`Compiler::compile_batch`] for the determinism and thread-budget
-    /// guarantees (including the shared-cache warm-up).
+    /// Opens a streaming serving session: stage workers spin up, `f` receives
+    /// a [`ServeHandle`] to submit/poll/wait requests asynchronously, and
+    /// every accepted request is drained before `serve` returns `f`'s result.
+    /// See [`queue`] for the full API (priorities, deadlines, backpressure,
+    /// per-pass progress).
+    pub fn serve<R>(&self, config: ServeConfig, f: impl FnOnce(&ServeHandle<'_, 'd>) -> R) -> R {
+        queue::serve(self, config, f)
+    }
+
+    /// Compiles a batch of circuits through a serving session on the staged
+    /// pass pipeline; see [`Compiler::compile_batch`] for the determinism and
+    /// thread-budget guarantees (including the shared-cache warm-up).
     ///
     /// Requests already in the compile cache are answered without compiling,
     /// and duplicate circuits within the batch compile once — both receive
@@ -280,24 +337,64 @@ impl<'d> CompileService<'d> {
             }
         }
         let unique: Vec<Circuit> = to_compile.iter().map(|&i| circuits[i].clone()).collect();
-        let compiled = self.compiler().compile_batch(&unique, options);
+        // Pre-warm shared latency caches on the full pool, then stream the
+        // unique circuits through a serving session. The submits bypass the
+        // compile cache (hits were already resolved above); completion inserts
+        // the results, so repeats of this batch become pure hits.
+        self.compiler().warm_latency_cache(&unique, options);
+        let compiled: Vec<Result<CompilationResult, CompileError>> = if unique.is_empty() {
+            Vec::new()
+        } else {
+            self.serve(
+                ServeConfig {
+                    queue_capacity: unique.len(),
+                    ..ServeConfig::default()
+                },
+                |handle| {
+                    let tickets: Vec<_> = unique
+                        .iter()
+                        .map(|circuit| {
+                            handle
+                                .submit(circuit, options, SubmitOptions::batch_bypass())
+                                .expect("queue sized to the batch")
+                        })
+                        .collect();
+                    tickets
+                        .into_iter()
+                        .map(|t| {
+                            handle.wait(t).map_err(|e| match e {
+                                ServiceError::Compile(c) => c,
+                                // No deadlines and a queue sized to the batch.
+                                other => unreachable!("batch serve cannot {other}"),
+                            })
+                        })
+                        .collect()
+                },
+            )
+        };
         for (&i, result) in to_compile.iter().zip(compiled) {
-            if self.cache.enabled() {
-                if let Ok(r) = &result {
-                    self.cache.insert(keys[i].clone(), Arc::new(r.clone()));
-                }
-            }
             out[i] = Some(result);
         }
-        // Duplicates copy their representative's result.
+        // Duplicates copy their representative's result; hits and duplicates
+        // count as submitted-and-completed alongside the served uniques.
+        let mut shortcut = 0;
         for i in 0..circuits.len() {
             if out[i].is_none() {
                 let &rep = representative
                     .get(keys[i].as_slice())
                     .expect("every non-hit key has a representative");
                 out[i] = out[rep].clone();
+                shortcut += 1;
+            } else if !to_compile.contains(&i) {
+                shortcut += 1;
             }
         }
+        self.counters
+            .submitted
+            .fetch_add(shortcut, Ordering::Relaxed);
+        self.counters
+            .completed
+            .fetch_add(shortcut, Ordering::Relaxed);
         out.into_iter()
             .map(|r| r.expect("every batch entry resolved"))
             .collect()

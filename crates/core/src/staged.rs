@@ -1,0 +1,283 @@
+//! Staged (hyper-pipelined) execution of a pass [`Pipeline`] over a batch of
+//! circuits.
+//!
+//! [`Pipeline::run`] drives one circuit through every pass back-to-back; a
+//! batch compiled that way — even fanned out circuit-per-thread — still
+//! barriers per circuit. The staged mode instead turns the *passes* into
+//! concurrent stages, following the System Hyper Pipelining idea: each stage
+//! worker owns a contiguous range of passes and a bounded input channel
+//! ([`threadpool::mpmc`]), and circuits stream through the chain, so circuit
+//! B runs `flatten` while circuit A is in `aggregation`. The bounded channels
+//! give backpressure for free: a slow stage fills its input queue and the
+//! stage ahead of it blocks instead of buffering unboundedly.
+//!
+//! Output is **bit-identical** to the serial path by construction: every
+//! circuit's passes run in recipe order over its own [`PassState`] via the
+//! same [`Pipeline::run_pass`] the serial driver uses; the stages only
+//! overlap *different* circuits. Shared latency-model caches are
+//! compute-once per key, so cross-circuit sharing stays exactly-once no
+//! matter how the stages interleave.
+//!
+//! This is the engine behind
+//! [`Compiler::compile_batch`](crate::pipeline::Compiler::compile_batch); the
+//! streaming serving front door with admission control lives in
+//! [`crate::service::queue`].
+
+use crate::passes::{CompileError, PassContext, PassState, Pipeline};
+use crate::pipeline::CompilerOptions;
+use qcc_hw::{Device, LatencyModel};
+use qcc_ir::Circuit;
+use std::sync::Mutex;
+use threadpool::{mpmc, ThreadPool};
+
+/// Default capacity of each stage's bounded input channel. Small on purpose:
+/// each queued entry holds a full instruction stream, and a deep queue only
+/// hides backpressure without adding overlap.
+pub const DEFAULT_STAGE_CAPACITY: usize = 4;
+
+/// One circuit's in-flight compilation state, handed from stage to stage.
+struct StagedJob {
+    index: usize,
+    state: PassState,
+}
+
+impl Pipeline {
+    /// Runs the pipeline over a batch of circuits in staged mode: the passes
+    /// are split into up to `threads` contiguous stage ranges, each driven by
+    /// a dedicated worker with a bounded input channel of `stage_capacity`
+    /// jobs, and the circuits stream through the chain (circuit *i+1* enters
+    /// stage 0 while circuit *i* is further down the pipe).
+    ///
+    /// Results are returned in input order and are bit-identical to calling
+    /// [`run`](Self::run) per circuit: each circuit's passes execute in
+    /// recipe order over its own state, and per-circuit failures surface in
+    /// that circuit's slot without affecting the rest. Inside staged mode
+    /// each pass runs with a serial pricing pool — the stage overlap *is*
+    /// the parallelism (callers wanting warm caches should pre-warm on the
+    /// full pool first, as
+    /// [`Compiler::compile_batch`](crate::pipeline::Compiler::compile_batch)
+    /// does).
+    ///
+    /// With one thread, one circuit, or an empty pipeline this degrades to
+    /// the serial per-circuit loop, with the full `threads` budget given to
+    /// each compile's internal pricing loops.
+    pub fn run_staged(
+        &self,
+        circuits: &[Circuit],
+        device: &Device,
+        model: &dyn LatencyModel,
+        options: &CompilerOptions,
+        threads: usize,
+        stage_capacity: usize,
+    ) -> Vec<Result<PassState, CompileError>> {
+        let stages = self.len();
+        let workers = threads.min(stages);
+        if workers <= 1 || circuits.len() <= 1 {
+            let pool = ThreadPool::new(threads.max(1));
+            return circuits
+                .iter()
+                .map(|circuit| {
+                    let ctx = PassContext::new(circuit, device, model, options, pool);
+                    self.run(&ctx)
+                })
+                .collect();
+        }
+
+        // Split the pass indices into `workers` contiguous, near-equal ranges.
+        let base = stages / workers;
+        let rem = stages % workers;
+        let mut ranges = Vec::with_capacity(workers);
+        let mut start = 0;
+        for w in 0..workers {
+            let len = base + usize::from(w < rem);
+            ranges.push(start..start + len);
+            start += len;
+        }
+
+        let results: Mutex<Vec<Option<Result<PassState, CompileError>>>> =
+            Mutex::new((0..circuits.len()).map(|_| None).collect());
+        let record = |index: usize, result: Result<PassState, CompileError>| {
+            results.lock().expect("staged results poisoned")[index] = Some(result);
+        };
+        // Runs one worker's stage range over a job's state; returns false (and
+        // records the error) when a pass fails, consuming the job.
+        let run_range = |range: &std::ops::Range<usize>, job: &mut StagedJob| -> bool {
+            let ctx = PassContext::new(
+                &circuits[job.index],
+                device,
+                model,
+                options,
+                ThreadPool::serial(),
+            );
+            for i in range.clone() {
+                if let Err(e) = self.run_pass(i, &mut job.state, &ctx) {
+                    record(job.index, Err(e));
+                    return false;
+                }
+            }
+            true
+        };
+
+        let mut senders = Vec::with_capacity(workers - 1);
+        let mut receivers = Vec::with_capacity(workers - 1);
+        for _ in 0..workers - 1 {
+            let (tx, rx) = mpmc::bounded::<StagedJob>(stage_capacity);
+            senders.push(tx);
+            receivers.push(rx);
+        }
+
+        std::thread::scope(|scope| {
+            let mut tx_iter = senders.into_iter();
+            let first_tx = tx_iter.next().expect("at least two stage workers");
+            // Downstream stage workers: receive, run their pass range, hand
+            // off (or record the finished state). Dropping the upstream
+            // sender cascades a clean shutdown through the chain.
+            for (w, rx) in (1..workers).zip(receivers) {
+                let tx = tx_iter.next(); // None for the final stage worker
+                let range = ranges[w].clone();
+                let run_range = &run_range;
+                let record = &record;
+                scope.spawn(move || {
+                    while let Ok(mut job) = rx.recv() {
+                        if !run_range(&range, &mut job) {
+                            continue;
+                        }
+                        match &tx {
+                            Some(tx) => tx
+                                .send(job)
+                                .unwrap_or_else(|_| panic!("stage {} hung up early", w + 1)),
+                            None => record(job.index, Ok(job.state)),
+                        }
+                    }
+                });
+            }
+            // The calling thread is stage worker 0: it feeds the chain,
+            // blocking on the first bounded channel when stage 1 lags.
+            for (index, _) in circuits.iter().enumerate() {
+                let mut job = StagedJob {
+                    index,
+                    state: PassState::default(),
+                };
+                if run_range(&ranges[0], &mut job) {
+                    first_tx
+                        .send(job)
+                        .unwrap_or_else(|_| panic!("stage 1 hung up early"));
+                }
+            }
+            drop(first_tx);
+        });
+
+        results
+            .into_inner()
+            .expect("staged results poisoned")
+            .into_iter()
+            .map(|r| r.expect("every circuit produced a result"))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::Strategy;
+    use qcc_hw::CalibratedLatencyModel;
+    use qcc_ir::Gate;
+
+    fn workload(n: usize, twist: f64) -> Circuit {
+        let mut c = Circuit::new(n);
+        for q in 0..n {
+            c.push(Gate::H, &[q]);
+        }
+        for q in 0..n - 1 {
+            c.push(Gate::Cnot, &[q, q + 1]);
+            c.push(Gate::Rz(twist + q as f64 * 0.1), &[q + 1]);
+            c.push(Gate::Cnot, &[q, q + 1]);
+        }
+        c
+    }
+
+    #[test]
+    fn staged_output_is_bit_identical_to_serial_at_every_worker_count() {
+        let device = Device::transmon_line(4);
+        let model = CalibratedLatencyModel::new(device.limits);
+        let circuits = vec![workload(4, 0.3), workload(3, 1.1), workload(4, 2.2)];
+        for strategy in Strategy::all() {
+            let options = CompilerOptions::strategy(strategy);
+            let pipeline = strategy.pipeline();
+            let serial: Vec<PassState> = circuits
+                .iter()
+                .map(|c| {
+                    let ctx = PassContext::new(c, &device, &model, &options, ThreadPool::serial());
+                    pipeline.run(&ctx).expect("serial compile succeeds")
+                })
+                .collect();
+            for threads in [2, 4, 8] {
+                let staged = pipeline.run_staged(
+                    &circuits,
+                    &device,
+                    &model,
+                    &options,
+                    threads,
+                    DEFAULT_STAGE_CAPACITY,
+                );
+                for (i, (s, reference)) in staged.into_iter().zip(&serial).enumerate() {
+                    let s = s.expect("staged compile succeeds");
+                    assert_eq!(
+                        s.instructions, reference.instructions,
+                        "{strategy:?} circuit {i} at {threads} threads"
+                    );
+                    let a = s.latencies.as_deref().unwrap();
+                    let b = reference.latencies.as_deref().unwrap();
+                    assert_eq!(a.len(), b.len());
+                    for (x, y) in a.iter().zip(b) {
+                        assert_eq!(x.to_bits(), y.to_bits(), "{strategy:?} circuit {i}");
+                    }
+                    assert_eq!(s.swap_count, reference.swap_count);
+                    assert_eq!(
+                        s.reports.iter().map(|r| r.pass).collect::<Vec<_>>(),
+                        reference.reports.iter().map(|r| r.pass).collect::<Vec<_>>(),
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn staged_failures_stay_in_their_slot() {
+        let device = Device::transmon_line(3);
+        let model = CalibratedLatencyModel::new(device.limits);
+        let options = CompilerOptions::strategy(Strategy::Cls);
+        let circuits = vec![workload(3, 0.5), workload(5, 0.5), workload(3, 0.7)];
+        let out = Strategy::Cls.pipeline().run_staged(
+            &circuits,
+            &device,
+            &model,
+            &options,
+            4,
+            DEFAULT_STAGE_CAPACITY,
+        );
+        assert!(out[0].is_ok());
+        assert_eq!(
+            out[1].as_ref().unwrap_err(),
+            &CompileError::DeviceTooSmall {
+                needed: 5,
+                available: 3
+            }
+        );
+        assert!(out[2].is_ok());
+    }
+
+    #[test]
+    fn tiny_stage_capacity_still_completes() {
+        // Capacity 1 forces constant backpressure through the whole chain.
+        let device = Device::transmon_line(4);
+        let model = CalibratedLatencyModel::new(device.limits);
+        let options = CompilerOptions::strategy(Strategy::ClsAggregation);
+        let circuits: Vec<Circuit> = (0..6).map(|i| workload(4, 0.2 + i as f64)).collect();
+        let out = Strategy::ClsAggregation
+            .pipeline()
+            .run_staged(&circuits, &device, &model, &options, 8, 1);
+        assert_eq!(out.len(), 6);
+        assert!(out.iter().all(|r| r.is_ok()));
+    }
+}

@@ -104,6 +104,37 @@ pub trait LatencyModel: Send + Sync {
     fn name(&self) -> &'static str;
 }
 
+/// A reference forwards every method (the provided ones included, so a
+/// referenced model keeps its own `parallel_pricing`/`pricing_stats`
+/// overrides). This lets an owning front door like a compile service borrow a
+/// caller-owned, instrumented model — e.g. `Box::new(&grape_model)` — while
+/// the caller retains access to its counters.
+impl<M: LatencyModel + ?Sized> LatencyModel for &M {
+    fn isa_gate_latency(&self, inst: &Instruction) -> f64 {
+        (**self).isa_gate_latency(inst)
+    }
+
+    fn aggregate_latency(&self, constituents: &[Instruction]) -> f64 {
+        (**self).aggregate_latency(constituents)
+    }
+
+    fn aggregate_latency_batch(&self, queries: &[&[Instruction]], pool: &ThreadPool) -> Vec<f64> {
+        (**self).aggregate_latency_batch(queries, pool)
+    }
+
+    fn parallel_pricing(&self) -> bool {
+        (**self).parallel_pricing()
+    }
+
+    fn pricing_stats(&self) -> Option<PricingStats> {
+        (**self).pricing_stats()
+    }
+
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+}
+
 /// Two-qubit interaction "area" (radians of XY-drive phase, `2π·∫|u|dt`)
 /// needed to realize a gate on an XY-coupled device.
 ///

@@ -68,6 +68,31 @@ pub enum SuiteScale {
     Reduced,
 }
 
+impl SuiteScale {
+    /// Parses a `QCC_BENCH_SCALE`-style value. `None` or an empty/whitespace
+    /// string means "use `default`"; `full` selects [`SuiteScale::Full`] and
+    /// `reduced` (or its historical alias `small`) selects
+    /// [`SuiteScale::Reduced`], case-insensitively. Anything else is an error
+    /// naming the offending value — a typo'd scale must be a loud startup
+    /// error, not a silent run at the wrong size.
+    pub fn parse_env(value: Option<&str>, default: SuiteScale) -> Result<SuiteScale, String> {
+        let Some(raw) = value else {
+            return Ok(default);
+        };
+        let trimmed = raw.trim();
+        if trimmed.is_empty() {
+            return Ok(default);
+        }
+        match trimmed.to_ascii_lowercase().as_str() {
+            "full" => Ok(SuiteScale::Full),
+            "reduced" | "small" => Ok(SuiteScale::Reduced),
+            _ => Err(format!(
+                "invalid QCC_BENCH_SCALE value '{raw}': expected 'full' or 'reduced'"
+            )),
+        }
+    }
+}
+
 /// Builds the benchmark suite of Table 3.
 pub fn standard_suite(scale: SuiteScale, seed: u64) -> Vec<Benchmark> {
     let full = scale == SuiteScale::Full;
@@ -201,6 +226,34 @@ mod tests {
         // Square-root register widths grow with the instance index.
         assert!(q("square-root-n3") < q("square-root-n4"));
         assert!(q("square-root-n4") < q("square-root-n5"));
+    }
+
+    #[test]
+    fn scale_parsing_accepts_known_names_and_rejects_garbage() {
+        // Pure-function tests: mutating the real environment would race with
+        // sibling test threads reading it (a libc-level hazard).
+        let d = SuiteScale::Full;
+        assert_eq!(SuiteScale::parse_env(None, d), Ok(SuiteScale::Full));
+        assert_eq!(
+            SuiteScale::parse_env(None, SuiteScale::Reduced),
+            Ok(SuiteScale::Reduced)
+        );
+        assert_eq!(SuiteScale::parse_env(Some(""), d), Ok(SuiteScale::Full));
+        assert_eq!(SuiteScale::parse_env(Some("  "), d), Ok(SuiteScale::Full));
+        for full in ["full", "Full", "FULL", " full "] {
+            assert_eq!(SuiteScale::parse_env(Some(full), d), Ok(SuiteScale::Full));
+        }
+        for reduced in ["reduced", "REDUCED", "small", "Small"] {
+            assert_eq!(
+                SuiteScale::parse_env(Some(reduced), d),
+                Ok(SuiteScale::Reduced)
+            );
+        }
+        for bad in ["tiny", "ful", "reduced!", "0"] {
+            let err = SuiteScale::parse_env(Some(bad), d).unwrap_err();
+            assert!(err.contains("QCC_BENCH_SCALE"), "{err}");
+            assert!(err.contains(bad), "error must name the value: {err}");
+        }
     }
 
     #[test]

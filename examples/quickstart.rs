@@ -1,13 +1,18 @@
 //! Quick start: compile the paper's worked QAOA example (§3.1 / Fig. 4) with
-//! every strategy, print the latency comparison, and show where the GRAPE
-//! solves land in the per-pass timing breakdown.
+//! every strategy through the serving front door, stream the per-pass
+//! progress of the full flow, and show where the GRAPE solves land in the
+//! per-pass timing breakdown.
 //!
 //! Run with `cargo run --release --example quickstart`.
 
-use qcc::compiler::{AggregationOptions, Compiler, CompilerOptions, Strategy};
+use qcc::compiler::{
+    AggregationOptions, CompileService, CompilerOptions, PassProgress, ServeConfig, Strategy,
+    SubmitOptions,
+};
 use qcc::control::GrapeLatencyModel;
-use qcc::hw::{CalibratedLatencyModel, Device};
+use qcc::hw::Device;
 use qcc::workloads::qaoa;
+use threadpool::mpmc;
 
 fn main() {
     let circuit = qaoa::paper_triangle_example();
@@ -18,17 +23,41 @@ fn main() {
     );
 
     let device = Device::transmon_line(3);
-    let model = CalibratedLatencyModel::new(device.limits);
-    let compiler = Compiler::new(&device, &model);
+    let service = CompileService::new(&device);
+
+    // One serving session sweeps every strategy: submit all five requests up
+    // front (they stream through the staged pass pipeline concurrently), then
+    // claim the results in strategy order. The full flow also streams one
+    // progress event per pass into a bounded channel.
+    let (progress_tx, progress_rx) = mpmc::bounded::<PassProgress>(32);
+    let results = service.serve(ServeConfig::default(), |handle| {
+        let tickets: Vec<_> = Strategy::all()
+            .iter()
+            .map(|&strategy| {
+                let submit = if strategy == Strategy::ClsAggregation {
+                    SubmitOptions::default().progress(progress_tx.clone())
+                } else {
+                    SubmitOptions::default()
+                };
+                handle
+                    .submit(&circuit, &CompilerOptions::strategy(strategy), submit)
+                    .expect("default queue has room for five requests")
+            })
+            .collect();
+        tickets
+            .into_iter()
+            .map(|t| handle.wait(t).expect("line device fits the example"))
+            .collect::<Vec<_>>()
+    });
+    drop(progress_tx);
 
     let mut baseline = 0.0;
     println!(
         "\n{:<18} {:>12} {:>10} {:>10}",
         "strategy", "latency (ns)", "instrs", "speedup"
     );
-    for strategy in Strategy::all() {
-        let result = compiler.compile(&circuit, &CompilerOptions::strategy(strategy));
-        if strategy == Strategy::IsaBaseline {
+    for (strategy, result) in Strategy::all().iter().zip(&results) {
+        if *strategy == Strategy::IsaBaseline {
             baseline = result.total_latency_ns;
         }
         println!(
@@ -40,14 +69,15 @@ fn main() {
         );
     }
 
-    // The full flow again, with its per-pass breakdown (instruction counts
-    // after each pass of the preset recipe, plus wall-clock timing).
-    let result = compiler.compile(
-        &circuit,
-        &CompilerOptions::strategy(Strategy::ClsAggregation),
+    // The streamed per-pass progress of the full flow: instruction counts
+    // after each pass of the preset recipe, plus wall-clock timing, delivered
+    // while the request was in flight.
+    println!(
+        "\nStreamed pass progress of {}:",
+        Strategy::ClsAggregation.name()
     );
-    println!("\nPass pipeline of {}:", result.strategy.name());
-    for report in &result.reports {
+    for event in progress_rx.drain() {
+        let report = event.report;
         println!(
             "  {:<24} {:>4} instrs {:>4} gates  {:>9.1?}",
             report.pass, report.instructions, report.gates, report.wall_time
@@ -56,16 +86,19 @@ fn main() {
 
     // The same compile priced by the real GRAPE optimal-control unit: the
     // per-pass reports now attribute the solves (and cache hits) to the pass
-    // that triggered them, so the timing breakdown shows where they land.
+    // that triggered them, so the timing breakdown shows where they land. The
+    // service borrows the model, so its counters stay readable out here.
     let grape = GrapeLatencyModel::fast_two_qubit();
-    let grape_compiler = Compiler::new(&device, &grape);
-    let grape_result = grape_compiler.compile(
-        &circuit,
-        &CompilerOptions {
-            strategy: Strategy::ClsAggregation,
-            aggregation: AggregationOptions::with_width(2),
-        },
-    );
+    let grape_service = CompileService::with_model(&device, Box::new(&grape));
+    let grape_result = grape_service
+        .compile(
+            &circuit,
+            &CompilerOptions {
+                strategy: Strategy::ClsAggregation,
+                aggregation: AggregationOptions::with_width(2),
+            },
+        )
+        .expect("line device fits the example");
     println!(
         "\nGRAPE-priced pipeline ({} solves, {} ns total):",
         grape.solve_count(),
@@ -83,7 +116,11 @@ fn main() {
     }
 
     // Verify that the full flow preserved the circuit semantics.
-    let check = qcc::compiler::verify_compilation(&circuit, &result);
+    let full = &results[Strategy::all()
+        .iter()
+        .position(|&s| s == Strategy::ClsAggregation)
+        .expect("full flow is in the sweep")];
+    let check = qcc::compiler::verify_compilation(&circuit, full);
     println!(
         "\nSemantic verification of CLS+Aggregation: {}",
         if check.equivalent {
@@ -91,5 +128,20 @@ fn main() {
         } else {
             "MISMATCH"
         }
+    );
+
+    // Service telemetry: cache activity plus the request counters of the
+    // serving session above.
+    let stats = service.compile_cache_stats();
+    println!(
+        "\nService telemetry: {} submitted, {} completed, {} rejected, \
+         {} deadline-expired; cache {} hits / {} misses / {} entries",
+        stats.submitted,
+        stats.completed,
+        stats.rejected,
+        stats.deadline_expired,
+        stats.hits,
+        stats.misses,
+        stats.entries
     );
 }

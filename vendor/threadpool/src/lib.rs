@@ -16,6 +16,12 @@
 //! (any integer ≥ 1) and otherwise falls back to
 //! [`std::thread::available_parallelism`]. A pool of one thread runs entirely
 //! on the caller's thread — no spawning, no synchronization.
+//!
+//! The [`mpmc`] module supplies the other primitive the staged pass pipeline
+//! needs: a small bounded multi-producer/multi-consumer channel for typed
+//! hand-offs between stage workers.
+
+pub mod mpmc;
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 
@@ -122,18 +128,39 @@ impl ThreadPool {
 /// Worker count used by [`ThreadPool::with_default_parallelism`]: the
 /// `QCC_THREADS` environment variable when set to an integer ≥ 1, otherwise
 /// the machine's available parallelism (1 if that cannot be determined).
+///
+/// # Panics
+///
+/// Panics with a message naming the offending value when `QCC_THREADS` is set
+/// but is not an integer ≥ 1. A typo'd thread count must be a loud startup
+/// error, not a silent fallback to a different parallelism level.
 pub fn default_parallelism() -> usize {
-    if let Some(n) = std::env::var("QCC_THREADS")
-        .ok()
-        .and_then(|v| v.trim().parse::<usize>().ok())
-    {
-        if n >= 1 {
-            return n;
-        }
+    match parse_thread_count(std::env::var("QCC_THREADS").ok().as_deref()) {
+        Ok(Some(n)) => n,
+        Ok(None) => std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+        Err(e) => panic!("{e}"),
     }
-    std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
+}
+
+/// Parses a `QCC_THREADS` value: `None` (unset) or an empty/whitespace string
+/// means "use the machine default" (`Ok(None)`); an integer ≥ 1 is the
+/// explicit count; anything else is an error describing the offending value.
+pub fn parse_thread_count(value: Option<&str>) -> Result<Option<usize>, String> {
+    let Some(raw) = value else {
+        return Ok(None);
+    };
+    let trimmed = raw.trim();
+    if trimmed.is_empty() {
+        return Ok(None);
+    }
+    match trimmed.parse::<usize>() {
+        Ok(n) if n >= 1 => Ok(Some(n)),
+        _ => Err(format!(
+            "invalid QCC_THREADS value '{raw}': expected an integer >= 1"
+        )),
+    }
 }
 
 #[cfg(test)]
@@ -198,6 +225,22 @@ mod tests {
             .downcast_ref::<String>()
             .expect("payload is the formatted panic message");
         assert_eq!(msg, "boom 3");
+    }
+
+    #[test]
+    fn thread_env_parsing_accepts_integers_and_rejects_garbage() {
+        // Pure-function tests: mutating the real environment would race with
+        // sibling test threads reading it (a libc-level hazard).
+        assert_eq!(parse_thread_count(None), Ok(None));
+        assert_eq!(parse_thread_count(Some("")), Ok(None));
+        assert_eq!(parse_thread_count(Some("  ")), Ok(None));
+        assert_eq!(parse_thread_count(Some("1")), Ok(Some(1)));
+        assert_eq!(parse_thread_count(Some(" 8 ")), Ok(Some(8)));
+        for bad in ["0", "-2", "four", "2.5", "8x"] {
+            let err = parse_thread_count(Some(bad)).unwrap_err();
+            assert!(err.contains("QCC_THREADS"), "{err}");
+            assert!(err.contains(bad), "error must name the value: {err}");
+        }
     }
 
     #[test]

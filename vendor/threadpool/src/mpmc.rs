@@ -1,0 +1,323 @@
+//! A small bounded multi-producer/multi-consumer channel.
+//!
+//! The staged pass pipeline needs a typed hand-off queue between stage
+//! workers: bounded (so a slow stage exerts backpressure on the stage ahead
+//! of it instead of buffering unboundedly), cloneable on both ends (so any
+//! number of workers can feed or drain one stage), and free of any global
+//! registry (the channel is just an `Arc` around a mutex-protected deque,
+//! matching the offline, vendored design of this crate).
+//!
+//! Semantics mirror the std mpsc API where they overlap:
+//!
+//! * [`Sender::send`] blocks while the channel is full and fails only when
+//!   every [`Receiver`] is gone.
+//! * [`Sender::try_send`] never blocks: a full channel returns
+//!   [`TrySendError::Full`] with the value handed back.
+//! * [`Receiver::recv`] blocks while the channel is empty and fails only when
+//!   it is empty **and** every [`Sender`] is gone — in-flight values are
+//!   always delivered before disconnection is reported.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex};
+
+/// Creates a bounded channel with room for `capacity` queued values
+/// (clamped to ≥ 1).
+pub fn bounded<T>(capacity: usize) -> (Sender<T>, Receiver<T>) {
+    let shared = Arc::new(Shared {
+        inner: Mutex::new(Inner {
+            queue: VecDeque::new(),
+            capacity: capacity.max(1),
+            senders: 1,
+            receivers: 1,
+        }),
+        not_empty: Condvar::new(),
+        not_full: Condvar::new(),
+    });
+    (
+        Sender {
+            shared: Arc::clone(&shared),
+        },
+        Receiver { shared },
+    )
+}
+
+struct Inner<T> {
+    queue: VecDeque<T>,
+    capacity: usize,
+    senders: usize,
+    receivers: usize,
+}
+
+struct Shared<T> {
+    inner: Mutex<Inner<T>>,
+    not_empty: Condvar,
+    not_full: Condvar,
+}
+
+/// Error returned by [`Sender::send`]: every receiver was dropped. The
+/// unsent value is handed back.
+#[derive(Debug, PartialEq, Eq)]
+pub struct SendError<T>(pub T);
+
+/// Error returned by [`Sender::try_send`].
+#[derive(Debug, PartialEq, Eq)]
+pub enum TrySendError<T> {
+    /// The channel is at capacity; the value is handed back.
+    Full(T),
+    /// Every receiver was dropped; the value is handed back.
+    Disconnected(T),
+}
+
+/// Error returned by [`Receiver::recv`]: the channel is empty and every
+/// sender was dropped.
+#[derive(Debug, PartialEq, Eq)]
+pub struct RecvError;
+
+/// Error returned by [`Receiver::try_recv`].
+#[derive(Debug, PartialEq, Eq)]
+pub enum TryRecvError {
+    /// The channel is currently empty.
+    Empty,
+    /// The channel is empty and every sender was dropped.
+    Disconnected,
+}
+
+/// The sending half of a [`bounded`] channel. Cloneable: any number of
+/// producers may feed the same queue.
+pub struct Sender<T> {
+    shared: Arc<Shared<T>>,
+}
+
+impl<T> Sender<T> {
+    /// Enqueues `value`, blocking while the channel is full. Fails (handing
+    /// the value back) only when every receiver is gone.
+    pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+        let mut inner = self.shared.inner.lock().expect("mpmc poisoned");
+        loop {
+            if inner.receivers == 0 {
+                return Err(SendError(value));
+            }
+            if inner.queue.len() < inner.capacity {
+                inner.queue.push_back(value);
+                self.shared.not_empty.notify_one();
+                return Ok(());
+            }
+            inner = self.shared.not_full.wait(inner).expect("mpmc poisoned");
+        }
+    }
+
+    /// Enqueues `value` without blocking; a full channel returns
+    /// [`TrySendError::Full`] immediately.
+    pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
+        let mut inner = self.shared.inner.lock().expect("mpmc poisoned");
+        if inner.receivers == 0 {
+            return Err(TrySendError::Disconnected(value));
+        }
+        if inner.queue.len() >= inner.capacity {
+            return Err(TrySendError::Full(value));
+        }
+        inner.queue.push_back(value);
+        self.shared.not_empty.notify_one();
+        Ok(())
+    }
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        self.shared.inner.lock().expect("mpmc poisoned").senders += 1;
+        Self {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        let mut inner = self.shared.inner.lock().expect("mpmc poisoned");
+        inner.senders -= 1;
+        if inner.senders == 0 {
+            // Wake blocked receivers so they can observe the disconnect.
+            self.shared.not_empty.notify_all();
+        }
+    }
+}
+
+/// The receiving half of a [`bounded`] channel. Cloneable: any number of
+/// consumers may drain the same queue; each value is delivered to exactly
+/// one of them.
+pub struct Receiver<T> {
+    shared: Arc<Shared<T>>,
+}
+
+impl<T> Receiver<T> {
+    /// Dequeues the next value, blocking while the channel is empty. Fails
+    /// only when the channel is empty and every sender is gone.
+    pub fn recv(&self) -> Result<T, RecvError> {
+        let mut inner = self.shared.inner.lock().expect("mpmc poisoned");
+        loop {
+            if let Some(value) = inner.queue.pop_front() {
+                self.shared.not_full.notify_one();
+                return Ok(value);
+            }
+            if inner.senders == 0 {
+                return Err(RecvError);
+            }
+            inner = self.shared.not_empty.wait(inner).expect("mpmc poisoned");
+        }
+    }
+
+    /// Dequeues the next value without blocking.
+    pub fn try_recv(&self) -> Result<T, TryRecvError> {
+        let mut inner = self.shared.inner.lock().expect("mpmc poisoned");
+        if let Some(value) = inner.queue.pop_front() {
+            self.shared.not_full.notify_one();
+            return Ok(value);
+        }
+        if inner.senders == 0 {
+            return Err(TryRecvError::Disconnected);
+        }
+        Err(TryRecvError::Empty)
+    }
+
+    /// Drains every value currently queued, without blocking.
+    pub fn drain(&self) -> Vec<T> {
+        let mut inner = self.shared.inner.lock().expect("mpmc poisoned");
+        let drained: Vec<T> = inner.queue.drain(..).collect();
+        if !drained.is_empty() {
+            self.shared.not_full.notify_all();
+        }
+        drained
+    }
+}
+
+impl<T> Clone for Receiver<T> {
+    fn clone(&self) -> Self {
+        self.shared.inner.lock().expect("mpmc poisoned").receivers += 1;
+        Self {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+}
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        let mut inner = self.shared.inner.lock().expect("mpmc poisoned");
+        inner.receivers -= 1;
+        if inner.receivers == 0 {
+            // Wake blocked senders so they can observe the disconnect.
+            self.shared.not_full.notify_all();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn values_arrive_in_fifo_order() {
+        let (tx, rx) = bounded(8);
+        for i in 0..5 {
+            tx.send(i).unwrap();
+        }
+        for i in 0..5 {
+            assert_eq!(rx.recv(), Ok(i));
+        }
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+    }
+
+    #[test]
+    fn try_send_reports_full_and_hands_the_value_back() {
+        let (tx, rx) = bounded(1);
+        tx.try_send(1).unwrap();
+        assert_eq!(tx.try_send(2), Err(TrySendError::Full(2)));
+        assert_eq!(rx.recv(), Ok(1));
+        tx.try_send(3).unwrap();
+        assert_eq!(rx.recv(), Ok(3));
+    }
+
+    #[test]
+    fn capacity_is_clamped_to_one() {
+        let (tx, _rx) = bounded(0);
+        tx.try_send(7).unwrap();
+        assert_eq!(tx.try_send(8), Err(TrySendError::Full(8)));
+    }
+
+    #[test]
+    fn receivers_drain_in_flight_values_before_seeing_disconnect() {
+        let (tx, rx) = bounded(4);
+        tx.send("a").unwrap();
+        tx.send("b").unwrap();
+        drop(tx);
+        assert_eq!(rx.recv(), Ok("a"));
+        assert_eq!(rx.recv(), Ok("b"));
+        assert_eq!(rx.recv(), Err(RecvError));
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
+    }
+
+    #[test]
+    fn senders_fail_once_every_receiver_is_gone() {
+        let (tx, rx) = bounded(2);
+        let rx2 = rx.clone();
+        drop(rx);
+        tx.send(1).unwrap();
+        drop(rx2);
+        assert_eq!(tx.send(2), Err(SendError(2)));
+        assert_eq!(tx.try_send(3), Err(TrySendError::Disconnected(3)));
+    }
+
+    #[test]
+    fn blocked_sender_resumes_when_space_frees_up() {
+        let (tx, rx) = bounded(1);
+        tx.send(0u32).unwrap();
+        std::thread::scope(|s| {
+            let producer = s.spawn(|| tx.send(1));
+            // The consumer frees the slot; the blocked producer completes.
+            assert_eq!(rx.recv(), Ok(0));
+            producer.join().unwrap().unwrap();
+        });
+        assert_eq!(rx.recv(), Ok(1));
+    }
+
+    #[test]
+    fn each_value_is_delivered_to_exactly_one_consumer() {
+        let (tx, rx) = bounded(64);
+        let n = 200usize;
+        let received = std::thread::scope(|s| {
+            let consumers: Vec<_> = (0..4)
+                .map(|_| {
+                    let rx = rx.clone();
+                    s.spawn(move || {
+                        let mut got = Vec::new();
+                        while let Ok(v) = rx.recv() {
+                            got.push(v);
+                        }
+                        got
+                    })
+                })
+                .collect();
+            drop(rx);
+            for i in 0..n {
+                tx.send(i).unwrap();
+            }
+            drop(tx);
+            let mut all: Vec<usize> = consumers
+                .into_iter()
+                .flat_map(|c| c.join().unwrap())
+                .collect();
+            all.sort_unstable();
+            all
+        });
+        assert_eq!(received, (0..n).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn drain_empties_the_queue_without_blocking() {
+        let (tx, rx) = bounded(8);
+        for i in 0..3 {
+            tx.send(i).unwrap();
+        }
+        assert_eq!(rx.drain(), vec![0, 1, 2]);
+        assert!(rx.drain().is_empty());
+    }
+}
