@@ -1,0 +1,165 @@
+//! Fleet routing: the standard suite dispatched across a backend fleet via
+//! cost-model routing, compared against a single backend compiling the same
+//! requests one-by-one.
+//!
+//! Three modes run: `serial` (one backend, synchronous compiles), a
+//! homogeneous fleet (`QCC_FLEET` identical grids, default 3), and a
+//! heterogeneous fleet of the same size (mixed topologies, drive
+//! calibrations, and capacity weights — the configuration the cost model
+//! exists for). Per-mode wall-clock timings are recorded for the
+//! machine-readable bench log (`QCC_BENCH_JSON`), and the heterogeneous run
+//! prints its routing telemetry: where each backend's share of the load went
+//! and how many tickets relocated.
+
+use qcc_bench::{
+    banner, fleet_size_from_env, record_compile_timing, render_table, scale_from_env,
+    write_bench_json,
+};
+use qcc_core::{Compiler, CompilerOptions, Fleet, Strategy};
+use qcc_hw::{Backend, CalibratedLatencyModel, ControlLimits, Device, Topology};
+use qcc_ir::Circuit;
+use qcc_workloads::standard_suite;
+use std::time::Instant;
+
+/// `size` identical grid backends.
+fn homogeneous_backends(size: usize, n_qubits: usize) -> Vec<Backend> {
+    (0..size)
+        .map(|i| Backend::calibrated(format!("grid-{i}"), Device::transmon_grid(n_qubits)))
+        .collect()
+}
+
+/// `size` deliberately dissimilar backends: topologies cycle line → grid →
+/// all-to-all, drive calibrations alternate around the paper's values, and
+/// every third backend advertises double capacity.
+fn heterogeneous_backends(size: usize, n_qubits: usize) -> Vec<Backend> {
+    let base = ControlLimits::asplos19();
+    (0..size)
+        .map(|i| {
+            let limits = base.scaled_drives(0.8 + 0.2 * (i % 3) as f64);
+            let topology = match i % 3 {
+                0 => Topology::Linear(n_qubits),
+                1 => Topology::near_square_grid(n_qubits),
+                _ => Topology::AllToAll(n_qubits),
+            };
+            let backend = Backend::calibrated(
+                format!("hetero-{i}"),
+                Device::transmon_with(topology, limits),
+            );
+            if i % 3 == 2 {
+                backend.with_capacity_weight(2.0)
+            } else {
+                backend
+            }
+        })
+        .collect()
+}
+
+/// Submits every circuit to the fleet, waits for all results, and returns
+/// the wall-clock seconds.
+fn dispatch_all(fleet: &mut Fleet<'_>, circuits: &[Circuit], options: &CompilerOptions) -> f64 {
+    let started = Instant::now();
+    let tickets: Vec<_> = circuits.iter().map(|c| fleet.submit(c, options)).collect();
+    fleet.run();
+    for t in tickets {
+        fleet
+            .wait(t)
+            .expect("every fleet device is sized for the suite");
+    }
+    started.elapsed().as_secs_f64()
+}
+
+fn main() {
+    banner(
+        "Fleet routing — cost-model dispatch across heterogeneous backends",
+        "the §3 compilation flow, served by a backend fleet",
+    );
+    let suite = standard_suite(scale_from_env(), 2019);
+    let fleet_size = fleet_size_from_env(3);
+    let circuits: Vec<Circuit> = suite.iter().map(|b| b.circuit.clone()).collect();
+    let n_qubits = suite
+        .iter()
+        .map(|b| b.n_qubits())
+        .max()
+        .expect("suite is non-empty");
+    let options = CompilerOptions::strategy(Strategy::ClsAggregation);
+
+    // Serial reference: one backend, the synchronous front door.
+    let solo = Device::transmon_grid(n_qubits);
+    let solo_model = CalibratedLatencyModel::new(solo.limits);
+    let serial_compiler = Compiler::new(&solo, &solo_model);
+    let started = Instant::now();
+    for c in &circuits {
+        serial_compiler.compile(c, &options);
+    }
+    let serial_seconds = started.elapsed().as_secs_f64();
+    record_compile_timing("fleet-serial", Strategy::ClsAggregation, serial_seconds);
+
+    let homogeneous = homogeneous_backends(fleet_size, n_qubits);
+    let mut fleet = Fleet::new(&homogeneous);
+    let homogeneous_seconds = dispatch_all(&mut fleet, &circuits, &options);
+    record_compile_timing(
+        "fleet-homogeneous",
+        Strategy::ClsAggregation,
+        homogeneous_seconds,
+    );
+
+    let heterogeneous = heterogeneous_backends(fleet_size, n_qubits);
+    let mut fleet = Fleet::new(&heterogeneous);
+    let heterogeneous_seconds = dispatch_all(&mut fleet, &circuits, &options);
+    record_compile_timing(
+        "fleet-heterogeneous",
+        Strategy::ClsAggregation,
+        heterogeneous_seconds,
+    );
+
+    let requests = circuits.len();
+    let throughput = |s: f64| format!("{:.1}", requests as f64 / s);
+    println!(
+        "{}",
+        render_table(
+            &[
+                "mode",
+                "backends",
+                "requests",
+                "wall-clock (s)",
+                "requests/s"
+            ],
+            &[
+                vec![
+                    "serial (1 backend)".into(),
+                    "1".into(),
+                    requests.to_string(),
+                    format!("{serial_seconds:.3}"),
+                    throughput(serial_seconds),
+                ],
+                vec![
+                    "fleet homogeneous".into(),
+                    fleet_size.to_string(),
+                    requests.to_string(),
+                    format!("{homogeneous_seconds:.3}"),
+                    throughput(homogeneous_seconds),
+                ],
+                vec![
+                    "fleet heterogeneous".into(),
+                    fleet_size.to_string(),
+                    requests.to_string(),
+                    format!("{heterogeneous_seconds:.3}"),
+                    throughput(heterogeneous_seconds),
+                ],
+            ],
+        )
+    );
+    println!("heterogeneous routing telemetry:");
+    for stats in fleet.stats() {
+        println!(
+            "  {:<12} submitted {:>3}  completed {:>3}  relocated in/out {}/{}",
+            stats.backend,
+            stats.submitted,
+            stats.completed,
+            stats.relocated_in,
+            stats.relocated_out,
+        );
+    }
+    println!("  relocations: {}", fleet.relocations().len());
+    write_bench_json("fleet_routing");
+}

@@ -77,6 +77,10 @@ pub struct GrapeLatencyModel {
     /// Bisection rounds in the minimal-time search.
     refinement_rounds: usize,
     cache: ShardedLatencyCache,
+    /// Byte encoding of everything that parameterizes a solve besides the
+    /// instruction list itself — prefixed to every cache key so models with
+    /// different calibrations never alias (see [`cache_key`](Self::cache_key)).
+    key_prefix: Vec<u8>,
     /// Number of pricing computations actually performed (cache misses).
     solves: AtomicUsize,
     /// Number of pricing queries answered (single and batched, hits included).
@@ -95,16 +99,46 @@ impl std::fmt::Debug for GrapeLatencyModel {
 impl GrapeLatencyModel {
     /// Creates the model.
     pub fn new(limits: ControlLimits, grape: GrapeConfig, max_qubits: usize) -> Self {
+        let refinement_rounds = 3;
         Self {
             fallback: CalibratedLatencyModel::new(limits),
+            key_prefix: Self::solver_prefix(&limits, &grape, max_qubits, refinement_rounds),
             limits,
             grape,
             max_qubits,
-            refinement_rounds: 3,
+            refinement_rounds,
             cache: ShardedLatencyCache::new(),
             solves: AtomicUsize::new(0),
             queries: AtomicUsize::new(0),
         }
+    }
+
+    /// Byte encoding of the solver configuration: control limits, every
+    /// [`GrapeConfig`] field, the numeric-width cutoff, and the bisection
+    /// depth. Two models that could return different latencies for the same
+    /// instruction list get different prefixes, so a fleet of GRAPE-priced
+    /// backends can share one process (and one key space) without collisions.
+    fn solver_prefix(
+        limits: &ControlLimits,
+        grape: &GrapeConfig,
+        max_qubits: usize,
+        refinement_rounds: usize,
+    ) -> Vec<u8> {
+        let mut prefix = Vec::with_capacity(96);
+        limits.encode_into(&mut prefix);
+        prefix.extend_from_slice(&(grape.max_iterations as u64).to_le_bytes());
+        for v in [
+            grape.target_fidelity,
+            grape.learning_rate,
+            grape.dt,
+            grape.init_scale,
+        ] {
+            prefix.extend_from_slice(&v.to_bits().to_le_bytes());
+        }
+        prefix.extend_from_slice(&grape.seed.to_le_bytes());
+        prefix.extend_from_slice(&(max_qubits as u64).to_le_bytes());
+        prefix.extend_from_slice(&(refinement_rounds as u64).to_le_bytes());
+        prefix
     }
 
     /// Model with the paper's control limits and a fast GRAPE profile, limited
@@ -116,14 +150,17 @@ impl GrapeLatencyModel {
     /// Cache key of an instruction list. Gate order is preserved: constituent
     /// gates do not commute in general, so `[X(0); H(0)]` and `[H(0); X(0)]`
     /// are different target unitaries and must price independently. The key is
-    /// the injective byte encoding of the sequence
-    /// ([`Instruction::encode_into`]): variant tags, raw `f64::to_bits` angle
-    /// bit patterns, and qubit indices — nearby rotation angles never share a
-    /// key, and building it allocates one small `Vec<u8>` instead of the
-    /// per-gate `format!` strings of the old `Debug`-rendered key.
-    fn cache_key(constituents: &[Instruction]) -> Vec<u8> {
+    /// this model's solver prefix (control limits + full GRAPE configuration —
+    /// the backend-identity part of the key) followed by the injective byte
+    /// encoding of the sequence ([`Instruction::encode_into`]): variant tags,
+    /// raw `f64::to_bits` angle bit patterns, and qubit indices — nearby
+    /// rotation angles never share a key, and building it allocates one small
+    /// `Vec<u8>` instead of the per-gate `format!` strings of the old
+    /// `Debug`-rendered key.
+    fn cache_key(&self, constituents: &[Instruction]) -> Vec<u8> {
         // ~18 bytes per encoded gate (tag + angle bits + two qubit indices).
-        let mut key = Vec::with_capacity(constituents.len() * 20);
+        let mut key = Vec::with_capacity(self.key_prefix.len() + constituents.len() * 20);
+        key.extend_from_slice(&self.key_prefix);
         for inst in constituents {
             inst.encode_into(&mut key);
         }
@@ -213,7 +250,7 @@ impl LatencyModel for GrapeLatencyModel {
 
     fn aggregate_latency(&self, constituents: &[Instruction]) -> f64 {
         self.queries.fetch_add(1, Ordering::Relaxed);
-        let slot = self.cache.slot(Self::cache_key(constituents));
+        let slot = self.cache.slot(self.cache_key(constituents));
         *slot.get_or_init(|| self.solve_uncached(constituents))
     }
 
@@ -230,7 +267,7 @@ impl LatencyModel for GrapeLatencyModel {
         self.queries.fetch_add(queries.len(), Ordering::Relaxed);
         let slots: Vec<Arc<OnceLock<f64>>> = queries
             .iter()
-            .map(|q| self.cache.slot(Self::cache_key(q)))
+            .map(|q| self.cache.slot(self.cache_key(q)))
             .collect();
         // Unique unsolved keys, in first-occurrence order. Duplicate queries
         // resolve to the same slot allocation, so pointer identity dedups
@@ -372,10 +409,8 @@ mod tests {
         // not collide in the cache (the old key sorted constituents).
         let xh = [inst(Gate::X, &[0]), inst(Gate::H, &[0])];
         let hx = [inst(Gate::H, &[0]), inst(Gate::X, &[0])];
-        assert_ne!(
-            GrapeLatencyModel::cache_key(&xh),
-            GrapeLatencyModel::cache_key(&hx)
-        );
+        let keyer = GrapeLatencyModel::fast_two_qubit();
+        assert_ne!(keyer.cache_key(&xh), keyer.cache_key(&hx));
         let (u_xh, _) = GrapeLatencyModel::target_unitary(&xh);
         let (u_hx, _) = GrapeLatencyModel::target_unitary(&hx);
         assert!(!u_xh.approx_eq_up_to_phase(&u_hx, 1e-9));
@@ -383,8 +418,8 @@ mod tests {
         // Rotation angles that differ in any bit must key separately (the
         // byte key embeds the raw f64 bit pattern).
         assert_ne!(
-            GrapeLatencyModel::cache_key(&[inst(Gate::Rz(0.40001), &[0])]),
-            GrapeLatencyModel::cache_key(&[inst(Gate::Rz(0.40004), &[0])])
+            keyer.cache_key(&[inst(Gate::Rz(0.40001), &[0])]),
+            keyer.cache_key(&[inst(Gate::Rz(0.40004), &[0])])
         );
 
         let model = GrapeLatencyModel::fast_two_qubit();
@@ -397,6 +432,36 @@ mod tests {
         assert_eq!(t_xh, model.aggregate_latency(&xh));
         assert_eq!(t_hx, model.aggregate_latency(&hx));
         assert_eq!(model.solve_count(), 2);
+    }
+
+    #[test]
+    fn cache_keys_diverge_across_solver_configurations() {
+        // Two models that could price the same instruction differently —
+        // different control limits, or different GRAPE settings — must never
+        // share a key, or a fleet of backends in one process would cross-read
+        // each other's cached latencies.
+        let query = [inst(Gate::X, &[0]), inst(Gate::H, &[0])];
+        let base = GrapeLatencyModel::fast_two_qubit();
+        let fast_limits = GrapeLatencyModel::new(
+            ControlLimits::asplos19().scaled_drives(2.0),
+            GrapeConfig::fast(),
+            2,
+        );
+        let deeper = {
+            let mut cfg = GrapeConfig::fast();
+            cfg.max_iterations += 1;
+            GrapeLatencyModel::new(ControlLimits::asplos19(), cfg, 2)
+        };
+        let wider = GrapeLatencyModel::new(ControlLimits::asplos19(), GrapeConfig::fast(), 3);
+        assert_ne!(base.cache_key(&query), fast_limits.cache_key(&query));
+        assert_ne!(base.cache_key(&query), deeper.cache_key(&query));
+        assert_ne!(base.cache_key(&query), wider.cache_key(&query));
+        // Identically configured models agree — the prefix is a pure function
+        // of configuration, so persistent caches can share keys across runs.
+        assert_eq!(
+            base.cache_key(&query),
+            GrapeLatencyModel::fast_two_qubit().cache_key(&query)
+        );
     }
 
     #[test]

@@ -69,8 +69,12 @@ pub use passes::{
 pub use pipeline::{
     CompilationResult, Compiler, CompilerOptions, ParseStrategyError, Strategy, StrategyComparison,
 };
-pub use qcc_hw::PricingStats;
+pub use qcc_hw::{Backend, PricingStats};
 pub use schedule::{asap_schedule, Schedule, ScheduledInstruction};
+pub use service::fleet::{
+    CandidateQuote, Fleet, FleetBackendStats, FleetSubmitOptions, FleetTicket, Relocation,
+    RoutingDecision, DEFAULT_RELOCATION_HYSTERESIS_NS,
+};
 pub use service::queue::{
     PassProgress, Priority, ServeConfig, ServeHandle, ServiceError, SubmitOptions, Ticket,
 };

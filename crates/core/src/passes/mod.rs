@@ -170,6 +170,7 @@ pub struct PassContext<'a> {
     /// The full thread pool of the owning compiler.
     pub pool: threadpool::ThreadPool,
     pricing_pool: threadpool::ThreadPool,
+    backend_fingerprint: &'a [u8],
 }
 
 impl<'a> PassContext<'a> {
@@ -196,7 +197,25 @@ impl<'a> PassContext<'a> {
             options,
             pool,
             pricing_pool,
+            backend_fingerprint: &[],
         }
+    }
+
+    /// Attaches the identity bytes of the backend this compilation targets
+    /// (see [`qcc_hw::Backend::fingerprint`]). Passes and caches that outlive
+    /// one compilation key on these bytes so a fleet of backends can share
+    /// one process without cross-backend collisions. Compilations driven
+    /// through a backend-less [`Compiler::new`](crate::pipeline::Compiler::new)
+    /// carry an empty fingerprint.
+    pub fn with_backend_fingerprint(mut self, fingerprint: &'a [u8]) -> Self {
+        self.backend_fingerprint = fingerprint;
+        self
+    }
+
+    /// The identity bytes of the backend being compiled for (empty when the
+    /// compilation was not dispatched against a named backend).
+    pub fn backend_fingerprint(&self) -> &[u8] {
+        self.backend_fingerprint
     }
 
     /// The pool pricing passes should fan out over: the compiler's pool when

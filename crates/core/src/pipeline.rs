@@ -26,7 +26,7 @@ use crate::passes::{
     HandOptimize, PassContext, PassReport, PassState, Pipeline, PipelineBuilder, Price, Route,
 };
 use crate::schedule::Schedule;
-use qcc_hw::{Device, LatencyModel};
+use qcc_hw::{Backend, Device, LatencyModel};
 use qcc_ir::{Circuit, Instruction};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
@@ -338,6 +338,7 @@ pub struct Compiler<'a> {
     device: &'a Device,
     model: &'a dyn LatencyModel,
     pool: ThreadPool,
+    fingerprint: Vec<u8>,
 }
 
 impl<'a> Compiler<'a> {
@@ -347,10 +348,30 @@ impl<'a> Compiler<'a> {
     /// overridable with the `QCC_THREADS` environment variable; use
     /// [`with_threads`](Self::with_threads) for an explicit count.
     pub fn new(device: &'a Device, model: &'a dyn LatencyModel) -> Self {
+        // Backend-less compilers still get an identity: the device encoding
+        // plus the model name, so two compilers that could disagree on a
+        // latency never share cache keys downstream.
+        let mut fingerprint = Vec::with_capacity(64);
+        device.encode_into(&mut fingerprint);
+        fingerprint.extend_from_slice(model.name().as_bytes());
         Self {
             device,
             model,
             pool: ThreadPool::with_default_parallelism(),
+            fingerprint,
+        }
+    }
+
+    /// Creates a compiler targeting one named [`Backend`] of a fleet: its
+    /// device, its latency model, and its injective fingerprint (which every
+    /// [`PassContext`] of this compiler carries, keeping shared caches
+    /// collision-free across backends).
+    pub fn for_backend(backend: &'a Backend) -> Self {
+        Self {
+            device: backend.device(),
+            model: backend.model(),
+            pool: ThreadPool::with_default_parallelism(),
+            fingerprint: backend.fingerprint().to_vec(),
         }
     }
 
@@ -360,9 +381,23 @@ impl<'a> Compiler<'a> {
         self
     }
 
+    /// Overrides the compiler's identity bytes — used by owning front doors
+    /// (e.g. a backend-built `CompileService`) whose borrowing compilers must
+    /// carry the owner's backend fingerprint, not a re-derived one.
+    pub(crate) fn with_fingerprint(mut self, fingerprint: Vec<u8>) -> Self {
+        self.fingerprint = fingerprint;
+        self
+    }
+
     /// The device the compiler targets.
     pub fn device(&self) -> &Device {
         self.device
+    }
+
+    /// Identity bytes of the compilation target (the backend fingerprint, or
+    /// a device-plus-model-derived stand-in for backend-less compilers).
+    pub fn fingerprint(&self) -> &[u8] {
+        &self.fingerprint
     }
 
     /// Compiles `circuit` with the given options by driving the strategy's
@@ -405,7 +440,8 @@ impl<'a> Compiler<'a> {
         circuit: &Circuit,
         options: &CompilerOptions,
     ) -> Result<CompilationResult, CompileError> {
-        let ctx = PassContext::new(circuit, self.device, self.model, options, self.pool);
+        let ctx = PassContext::new(circuit, self.device, self.model, options, self.pool)
+            .with_backend_fingerprint(&self.fingerprint);
         let state = pipeline.run(&ctx)?;
         finish(state, options.strategy, circuit.n_qubits())
     }
@@ -438,6 +474,7 @@ impl<'a> Compiler<'a> {
                 circuits,
                 self.device,
                 self.model,
+                &self.fingerprint,
                 options,
                 self.pool.threads(),
                 crate::staged::DEFAULT_STAGE_CAPACITY,
@@ -484,7 +521,8 @@ impl<'a> Compiler<'a> {
                     self.model,
                     options,
                     ThreadPool::serial(),
-                );
+                )
+                .with_backend_fingerprint(&self.fingerprint);
                 prefix.run(&ctx).map(|state| state.instructions).ok()
             })
             .into_iter()
@@ -521,6 +559,7 @@ impl<'a> Compiler<'a> {
             device: self.device,
             model: self.model,
             pool: ThreadPool::new((self.pool.threads() / strategies.len()).max(1)),
+            fingerprint: self.fingerprint.clone(),
         };
         let results = self.pool.parallel_map(&strategies, |&strategy| {
             let options = CompilerOptions {

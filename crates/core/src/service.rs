@@ -4,13 +4,15 @@
 //!
 //! Streaming (async-style) serving — bounded admission queue, priorities,
 //! deadlines, per-pass progress — lives in the [`queue`] submodule and is
-//! entered through [`CompileService::serve`].
+//! entered through [`CompileService::serve`]. Multi-backend dispatch across a
+//! heterogeneous fleet lives in the [`fleet`] submodule.
 
+pub mod fleet;
 pub mod queue;
 
 use crate::passes::CompileError;
 use crate::pipeline::{CompilationResult, Compiler, CompilerOptions};
-use qcc_hw::{CalibratedLatencyModel, ControlLimits, Device, LatencyModel};
+use qcc_hw::{Backend, CalibratedLatencyModel, ControlLimits, Device, LatencyModel};
 use qcc_ir::Circuit;
 use queue::{ServeConfig, ServeHandle, ServiceError, SubmitOptions};
 use std::collections::{HashMap, VecDeque};
@@ -137,11 +139,16 @@ impl CompileCache {
     }
 }
 
-/// Injective fingerprint of one compile request: the circuit's byte encoding
-/// plus every option that can change the output (strategy recipe, aggregation
-/// limits).
-fn request_fingerprint(circuit: &Circuit, options: &CompilerOptions) -> Vec<u8> {
-    let mut key = Vec::with_capacity(circuit.len() * 20 + 64);
+/// Injective fingerprint of one compile request: the identity of the backend
+/// answering it (`backend` — length-prefixed so the key stream stays
+/// prefix-free), the circuit's byte encoding, and every option that can
+/// change the output (strategy recipe, aggregation limits). A fleet of
+/// backends sharing one process therefore never cross-reads compile-cache
+/// entries: the same circuit on two backends is two keys.
+fn request_fingerprint(backend: &[u8], circuit: &Circuit, options: &CompilerOptions) -> Vec<u8> {
+    let mut key = Vec::with_capacity(backend.len() + circuit.len() * 20 + 72);
+    key.extend_from_slice(&(backend.len() as u64).to_le_bytes());
+    key.extend_from_slice(backend);
     key.extend_from_slice(&(circuit.n_qubits() as u64).to_le_bytes());
     for inst in circuit.instructions() {
         inst.encode_into(&mut key);
@@ -203,6 +210,9 @@ pub struct CompileService<'d> {
     pool: ThreadPool,
     cache: CompileCache,
     counters: ServiceCounters,
+    /// Identity bytes of the compilation target, prefixed to every compile
+    /// cache key (a fleet of backend services never cross-reads entries).
+    fingerprint: Vec<u8>,
 }
 
 impl<'d> CompileService<'d> {
@@ -216,13 +226,43 @@ impl<'d> CompileService<'d> {
     /// A service using a caller-supplied latency model (e.g. the GRAPE
     /// optimal-control unit).
     pub fn with_model(device: &'d Device, model: Box<dyn LatencyModel + 'd>) -> Self {
+        // Backend-less services are identified by device encoding + model
+        // name, mirroring `Compiler::new`.
+        let mut fingerprint = Vec::with_capacity(64);
+        device.encode_into(&mut fingerprint);
+        fingerprint.extend_from_slice(model.name().as_bytes());
         Self {
             device,
             model,
             pool: ThreadPool::with_default_parallelism(),
             cache: CompileCache::new(DEFAULT_COMPILE_CACHE_CAPACITY),
             counters: ServiceCounters::default(),
+            fingerprint,
         }
+    }
+
+    /// A service compiling for one named [`Backend`] of a fleet: the
+    /// backend's device and (shared) latency model, with the backend's
+    /// injective fingerprint prefixed to every cache key — the per-lane
+    /// engine behind [`Fleet`](crate::Fleet).
+    pub fn for_backend(backend: &'d Backend) -> Self {
+        Self {
+            device: backend.device(),
+            // `&'d dyn LatencyModel` forwards the whole trait (including
+            // pricing instrumentation), so the backend's Arc stays the one
+            // shared model instance.
+            model: Box::new(backend.model()),
+            pool: ThreadPool::with_default_parallelism(),
+            cache: CompileCache::new(DEFAULT_COMPILE_CACHE_CAPACITY),
+            counters: ServiceCounters::default(),
+            fingerprint: backend.fingerprint().to_vec(),
+        }
+    }
+
+    /// The cache key of one request against this service's target: backend
+    /// fingerprint + circuit encoding + options (see [`request_fingerprint`]).
+    pub(crate) fn request_key(&self, circuit: &Circuit, options: &CompilerOptions) -> Vec<u8> {
+        request_fingerprint(&self.fingerprint, circuit, options)
     }
 
     /// Sets the number of threads used for batch fan-out and parallel pricing
@@ -260,7 +300,9 @@ impl<'d> CompileService<'d> {
     /// for APIs the service does not mirror (custom pipelines via
     /// [`Compiler::run_pipeline`], strategy comparisons).
     pub fn compiler(&self) -> Compiler<'_> {
-        Compiler::new(self.device, self.model.as_ref()).with_threads(self.pool.threads())
+        Compiler::new(self.device, self.model.as_ref())
+            .with_threads(self.pool.threads())
+            .with_fingerprint(self.fingerprint.clone())
     }
 
     /// Compiles one circuit, serving a cached result when the identical
@@ -276,7 +318,7 @@ impl<'d> CompileService<'d> {
             self.counters.completed.fetch_add(1, Ordering::Relaxed);
             return result;
         }
-        let key = request_fingerprint(circuit, options);
+        let key = self.request_key(circuit, options);
         if let Some(hit) = self.cache.get(&key) {
             self.counters.completed.fetch_add(1, Ordering::Relaxed);
             return Ok((*hit).clone());
@@ -316,7 +358,7 @@ impl<'d> CompileService<'d> {
         }
         let keys: Vec<Vec<u8>> = circuits
             .iter()
-            .map(|c| request_fingerprint(c, options))
+            .map(|c| self.request_key(c, options))
             .collect();
         let mut out: Vec<Option<Result<CompilationResult, CompileError>>> =
             vec![None; circuits.len()];

@@ -1,0 +1,709 @@
+//! The fleet front door: cost-model dispatch and dynamic relocation across a
+//! heterogeneous set of [`Backend`]s.
+//!
+//! One process, many devices: a [`Fleet`] owns one serving lane per backend
+//! (a [`CompileService`] built with [`CompileService::for_backend`], so every
+//! cache key carries that backend's fingerprint) and routes each submitted
+//! request with a **cost-model pass** — a cheap
+//! flatten→route→price→schedule pipeline (the ISA-baseline pricing leg of
+//! [`Compiler::compare_strategies`](crate::pipeline::Compiler::compare_strategies))
+//! run against every candidate backend. The request goes to the lane with the
+//! lowest *score*:
+//!
+//! ```text
+//! score(lane) = (estimated_latency_ns + queued_backlog_ns) / capacity_weight
+//! ```
+//!
+//! so a fast-but-busy backend loses to a slower idle one, and a
+//! double-capacity backend absorbs twice the backlog before the router treats
+//! it as equally loaded. Ties break to the earliest-constructed backend.
+//!
+//! Placement is **dynamic** (after SHIFT's communication-aware compute
+//! relocation, arXiv:2606.28754): whenever backlog estimates shift — a new
+//! submission, or a capacity derate via
+//! [`set_capacity_weight`](Fleet::set_capacity_weight) — the fleet rebalances,
+//! migrating still-queued (never in-flight, never pinned) tickets from the
+//! most-pressured lane to the least, but only while the pressure gap exceeds
+//! a **hysteresis threshold**, so balanced fleets don't churn. A relocated
+//! ticket compiles exactly once, on its final lane.
+//!
+//! Everything that decides placement — estimates, backlog arithmetic,
+//! tie-breaks — is pure and runs on the submitting thread, so routing is
+//! **deterministic for a fixed submission trace at any thread count**;
+//! threads only parallelize [`Fleet::run`], whose per-lane serving sessions
+//! are pinned bit-identical to direct single-backend compiles.
+//!
+//! ```
+//! use qcc_core::{CompilerOptions, Fleet, Strategy};
+//! use qcc_hw::{Backend, ControlLimits, Device, Topology};
+//! use qcc_ir::{Circuit, Gate};
+//!
+//! let limits = ControlLimits::asplos19();
+//! let backends = vec![
+//!     Backend::calibrated("line", Device::transmon_line(4)),
+//!     Backend::calibrated(
+//!         "grid-fast",
+//!         Device::transmon_with(Topology::near_square_grid(4), limits.scaled_drives(1.5)),
+//!     ),
+//! ];
+//! let mut fleet = Fleet::new(&backends);
+//! let mut circuit = Circuit::new(3);
+//! circuit.push(Gate::H, &[0]);
+//! circuit.push(Gate::Cnot, &[0, 1]);
+//! circuit.push(Gate::Cnot, &[1, 2]);
+//! let ticket = fleet.submit(&circuit, &CompilerOptions::strategy(Strategy::Cls));
+//! // The chain circuit maps SWAP-free onto the line, which beats the
+//! // faster-calibrated grid that would have to route qubit 1↔2.
+//! assert_eq!(fleet.routing_log().last().unwrap().backend, "line");
+//! let result = fleet.wait(ticket).unwrap();
+//! assert!(result.total_latency_ns > 0.0);
+//! ```
+
+use crate::passes::{
+    AsapSchedule, CompileError, Flatten, GatePricing, Pipeline, PipelineBuilder, Price, Route,
+};
+use crate::pipeline::{CompilationResult, Compiler, CompilerOptions, Strategy};
+use crate::service::queue::{Priority, ServeConfig, ServiceError, SubmitOptions};
+use crate::service::{CompileCacheStats, CompileService};
+use qcc_hw::Backend;
+use qcc_ir::Circuit;
+use std::collections::HashMap;
+use threadpool::ThreadPool;
+
+/// Default relocation hysteresis in ns: a queued ticket only migrates when
+/// the donor lane's pressure exceeds the recipient's post-move pressure by
+/// more than this, so near-balanced fleets don't churn tickets back and
+/// forth over noise-sized differences.
+pub const DEFAULT_RELOCATION_HYSTERESIS_NS: f64 = 250.0;
+
+/// Claim check for a request submitted to a [`Fleet`], redeemed with
+/// [`Fleet::wait`] (or [`Fleet::take`] after a [`Fleet::run`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FleetTicket(u64);
+
+/// Per-request fleet submission options: priority class and optional
+/// placement pinning.
+#[derive(Debug, Clone, Default)]
+pub struct FleetSubmitOptions {
+    priority: Priority,
+    pin: Option<String>,
+}
+
+impl FleetSubmitOptions {
+    /// Sets the priority class the request carries into its lane's serving
+    /// session (default: [`Priority::Interactive`]).
+    pub fn priority(mut self, priority: Priority) -> Self {
+        self.priority = priority;
+        self
+    }
+
+    /// Pins the request to the named backend, bypassing cost-model routing.
+    /// Pinned tickets are exempt from relocation.
+    pub fn pin(mut self, label: impl Into<String>) -> Self {
+        self.pin = Some(label.into());
+        self
+    }
+}
+
+/// One candidate backend's quote inside a [`RoutingDecision`]: what the cost
+/// model estimated, what was already queued, and the resulting score.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CandidateQuote {
+    /// The candidate backend's label.
+    pub backend: String,
+    /// Cost-model latency estimate for this request on this backend, ns
+    /// (infinite when the backend cannot run the circuit at all).
+    pub estimate_ns: f64,
+    /// Backlog already queued on the lane at decision time, ns.
+    pub backlog_ns: f64,
+    /// `(estimate_ns + backlog_ns) / capacity_weight` — the routed-to lane
+    /// minimizes this.
+    pub score: f64,
+}
+
+/// Record of one routing decision: where a ticket went and what every
+/// candidate quoted at that moment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RoutingDecision {
+    /// The routed request.
+    pub ticket: FleetTicket,
+    /// Label of the chosen backend.
+    pub backend: String,
+    /// Whether the placement was pinned by the submitter (no cost-model
+    /// comparison ran).
+    pub pinned: bool,
+    /// The chosen lane's queued backlog at decision time, ns.
+    pub backlog_ns: f64,
+    /// One quote per candidate backend, in fleet construction order (empty
+    /// for pinned placements).
+    pub candidates: Vec<CandidateQuote>,
+}
+
+/// Record of one SHIFT-style relocation of a still-queued ticket.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Relocation {
+    /// The migrated request.
+    pub ticket: FleetTicket,
+    /// Label of the lane the ticket left.
+    pub from: String,
+    /// Label of the lane the ticket joined.
+    pub to: String,
+    /// Pressure reduction that justified the move, ns (always above the
+    /// hysteresis threshold).
+    pub gain_ns: f64,
+}
+
+/// Per-backend serving counters, in the style of [`CompileCacheStats`].
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct FleetBackendStats {
+    /// The backend's label.
+    pub backend: String,
+    /// Requests routed (or pinned, or relocated) to this backend and kept at
+    /// [`Fleet::run`] time.
+    pub submitted: usize,
+    /// Requests this backend finished (successes and compile errors alike).
+    pub completed: usize,
+    /// Queued tickets that migrated *onto* this backend.
+    pub relocated_in: usize,
+    /// Queued tickets that migrated *off* this backend.
+    pub relocated_out: usize,
+    /// Tickets currently queued (not yet run).
+    pub queued: usize,
+    /// Estimated queued work, ns.
+    pub backlog_ns: f64,
+}
+
+/// A request queued on a lane, waiting for the next [`Fleet::run`].
+struct Pending {
+    ticket: u64,
+    circuit: Circuit,
+    options: CompilerOptions,
+    priority: Priority,
+    pinned: bool,
+    /// Cost-model estimate per lane, in lane order (what the backlog
+    /// accounting and relocation scoring reuse without re-estimating).
+    estimates: Vec<f64>,
+}
+
+/// One backend's serving lane: the backend, its dedicated service, and the
+/// queue of not-yet-run requests.
+struct Lane<'b> {
+    backend: &'b Backend,
+    service: CompileService<'b>,
+    queue: Vec<Pending>,
+    backlog_ns: f64,
+    weight: f64,
+    submitted: usize,
+    completed: usize,
+    relocated_in: usize,
+    relocated_out: usize,
+}
+
+impl Lane<'_> {
+    fn pressure(&self) -> f64 {
+        self.backlog_ns / self.weight
+    }
+
+    /// What this lane's pressure would become if `estimate_ns` more work
+    /// joined its queue.
+    fn pressure_with(&self, estimate_ns: f64) -> f64 {
+        (self.backlog_ns + finite_or_zero(estimate_ns)) / self.weight
+    }
+}
+
+/// Infinite estimates (backend cannot run the circuit) contribute nothing to
+/// backlog: the request will fail fast with `DeviceTooSmall`, not occupy the
+/// lane.
+fn finite_or_zero(v: f64) -> f64 {
+    if v.is_finite() {
+        v
+    } else {
+        0.0
+    }
+}
+
+/// The fleet dispatcher; see the [module docs](self) for the routing and
+/// relocation policy.
+///
+/// Submission and placement take `&mut self`: dispatch is a serialized
+/// decision stream by design, which is what makes routing reproducible.
+/// Execution ([`run`](Self::run)) fans the lanes out over the fleet's thread
+/// pool.
+pub struct Fleet<'b> {
+    lanes: Vec<Lane<'b>>,
+    pool: ThreadPool,
+    hysteresis_ns: f64,
+    next_ticket: u64,
+    cost_pipeline: Pipeline,
+    cost_options: CompilerOptions,
+    /// Memoized cost-model estimates: (lane index, circuit encoding) → ns.
+    estimate_memo: HashMap<(usize, Vec<u8>), f64>,
+    /// Final placement of every ticket ever submitted: ticket → lane index
+    /// (kept current across relocations).
+    placements: HashMap<u64, usize>,
+    results: HashMap<u64, Result<CompilationResult, CompileError>>,
+    routing_log: Vec<RoutingDecision>,
+    relocations: Vec<Relocation>,
+}
+
+impl<'b> Fleet<'b> {
+    /// Builds a fleet over the given backends, one serving lane each.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `backends` is empty or two backends share a label (labels
+    /// are the fleet's addressing scheme).
+    pub fn new(backends: &'b [Backend]) -> Self {
+        assert!(!backends.is_empty(), "a fleet needs at least one backend");
+        for (i, b) in backends.iter().enumerate() {
+            if let Some(dup) = backends[i + 1..].iter().find(|o| o.label() == b.label()) {
+                panic!("duplicate backend label '{}' in fleet", dup.label());
+            }
+        }
+        let pool = ThreadPool::with_default_parallelism();
+        let lane_threads = (pool.threads() / backends.len()).max(1);
+        let lanes = backends
+            .iter()
+            .map(|backend| Lane {
+                backend,
+                service: CompileService::for_backend(backend).with_threads(lane_threads),
+                queue: Vec::new(),
+                backlog_ns: 0.0,
+                weight: backend.capacity_weight(),
+                submitted: 0,
+                completed: 0,
+                relocated_in: 0,
+                relocated_out: 0,
+            })
+            .collect();
+        Self {
+            lanes,
+            pool,
+            hysteresis_ns: DEFAULT_RELOCATION_HYSTERESIS_NS,
+            next_ticket: 0,
+            // The cheap cost-model pass: the ISA-baseline pricing leg of
+            // `compare_strategies`, whose routed-SWAP + per-gate-pulse
+            // makespan tracks how well a topology/calibration suits the
+            // circuit without paying for aggregation or GRAPE solves.
+            cost_pipeline: PipelineBuilder::new()
+                .add(Flatten)
+                .add(Route)
+                .add(Price::per_gate(GatePricing::Isa))
+                .add(AsapSchedule)
+                .build(),
+            cost_options: CompilerOptions::strategy(Strategy::IsaBaseline),
+            estimate_memo: HashMap::new(),
+            placements: HashMap::new(),
+            results: HashMap::new(),
+            routing_log: Vec::new(),
+            relocations: Vec::new(),
+        }
+    }
+
+    /// Sets the total thread budget for [`run`](Self::run): lanes fan out
+    /// over these threads, each lane's serving session receiving an equal
+    /// share (at least one). Placement decisions are unaffected — routing is
+    /// deterministic at any thread count.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.pool = ThreadPool::new(threads);
+        let lane_threads = (threads / self.lanes.len()).max(1);
+        for lane in &mut self.lanes {
+            lane.service = CompileService::for_backend(lane.backend).with_threads(lane_threads);
+        }
+        self
+    }
+
+    /// Sets the relocation hysteresis (default
+    /// [`DEFAULT_RELOCATION_HYSTERESIS_NS`]); `f64::INFINITY` disables
+    /// relocation entirely.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `hysteresis_ns` is negative or NaN.
+    pub fn with_hysteresis_ns(mut self, hysteresis_ns: f64) -> Self {
+        assert!(
+            hysteresis_ns >= 0.0,
+            "relocation hysteresis must be non-negative, got {hysteresis_ns}"
+        );
+        self.hysteresis_ns = hysteresis_ns;
+        self
+    }
+
+    /// Backend labels in lane order (the candidate order of every
+    /// [`RoutingDecision`]).
+    pub fn labels(&self) -> Vec<&str> {
+        self.lanes.iter().map(|l| l.backend.label()).collect()
+    }
+
+    /// Submits a request with default options (interactive priority, routed
+    /// by the cost model) and returns its claim ticket.
+    pub fn submit(&mut self, circuit: &Circuit, options: &CompilerOptions) -> FleetTicket {
+        self.submit_with(circuit, options, FleetSubmitOptions::default())
+    }
+
+    /// Submits a request with explicit [`FleetSubmitOptions`]; records a
+    /// [`RoutingDecision`] and rebalances the queues afterwards.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the options pin a label no backend of this fleet carries.
+    pub fn submit_with(
+        &mut self,
+        circuit: &Circuit,
+        options: &CompilerOptions,
+        submit: FleetSubmitOptions,
+    ) -> FleetTicket {
+        let estimates = self.estimate_all(circuit);
+        let (lane_idx, pinned) = match &submit.pin {
+            Some(label) => (
+                self.lane_index(label)
+                    .unwrap_or_else(|| panic!("no backend labelled '{label}' in this fleet")),
+                true,
+            ),
+            None => (self.route(&estimates), false),
+        };
+        let ticket = FleetTicket(self.next_ticket);
+        self.next_ticket += 1;
+        let candidates = if pinned {
+            Vec::new()
+        } else {
+            self.lanes
+                .iter()
+                .zip(&estimates)
+                .map(|(lane, &estimate_ns)| CandidateQuote {
+                    backend: lane.backend.label().to_string(),
+                    estimate_ns,
+                    backlog_ns: lane.backlog_ns,
+                    score: lane.pressure_with(estimate_ns),
+                })
+                .collect()
+        };
+        let lane = &mut self.lanes[lane_idx];
+        self.routing_log.push(RoutingDecision {
+            ticket,
+            backend: lane.backend.label().to_string(),
+            pinned,
+            backlog_ns: lane.backlog_ns,
+            candidates,
+        });
+        lane.backlog_ns += finite_or_zero(estimates[lane_idx]);
+        lane.submitted += 1;
+        self.placements.insert(ticket.0, lane_idx);
+        let lane = &mut self.lanes[lane_idx];
+        lane.queue.push(Pending {
+            ticket: ticket.0,
+            circuit: circuit.clone(),
+            options: options.clone(),
+            priority: submit.priority,
+            pinned,
+            estimates,
+        });
+        self.rebalance();
+        ticket
+    }
+
+    /// Re-weights one backend at runtime — the SHIFT-style "availability
+    /// shifted" signal. Halving a weight doubles the lane's pressure, so
+    /// queued unpinned work starts migrating off it immediately (the call
+    /// rebalances before returning).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unknown label or a non-positive/non-finite weight.
+    pub fn set_capacity_weight(&mut self, label: &str, weight: f64) {
+        assert!(
+            weight.is_finite() && weight > 0.0,
+            "backend capacity weight must be positive and finite, got {weight}"
+        );
+        let idx = self
+            .lane_index(label)
+            .unwrap_or_else(|| panic!("no backend labelled '{label}' in this fleet"));
+        self.lanes[idx].weight = weight;
+        self.rebalance();
+    }
+
+    /// Runs every queued request through its lane's serving session (lanes in
+    /// parallel over the fleet's thread pool) and stores the results for
+    /// [`wait`](Self::wait)/[`take`](Self::take). Idempotent when nothing is
+    /// queued.
+    pub fn run(&mut self) {
+        let work: Vec<(usize, Vec<Pending>)> = self
+            .lanes
+            .iter_mut()
+            .enumerate()
+            .map(|(i, lane)| (i, std::mem::take(&mut lane.queue)))
+            .collect();
+        let lanes = &self.lanes;
+        let outputs: Vec<Vec<(u64, Result<CompilationResult, CompileError>)>> =
+            self.pool.parallel_map(&work, |(i, pending)| {
+                if pending.is_empty() {
+                    return Vec::new();
+                }
+                let lane = &lanes[*i];
+                lane.service.serve(
+                    ServeConfig {
+                        queue_capacity: pending.len(),
+                        ..ServeConfig::default()
+                    },
+                    |handle| {
+                        let tickets: Vec<_> = pending
+                            .iter()
+                            .map(|p| {
+                                handle
+                                    .submit(
+                                        &p.circuit,
+                                        &p.options,
+                                        SubmitOptions::default().priority(p.priority),
+                                    )
+                                    .expect("lane queue sized to its work")
+                            })
+                            .collect();
+                        tickets
+                            .into_iter()
+                            .zip(pending)
+                            .map(|(t, p)| {
+                                let result = handle.wait(t).map_err(|e| match e {
+                                    ServiceError::Compile(c) => c,
+                                    // No deadlines; queue sized to the work.
+                                    other => unreachable!("fleet serve cannot {other}"),
+                                });
+                                (p.ticket, result)
+                            })
+                            .collect()
+                    },
+                )
+            });
+        for ((i, pending), lane_results) in work.iter().zip(outputs) {
+            self.lanes[*i].completed += lane_results.len();
+            debug_assert_eq!(pending.len(), lane_results.len());
+            self.results.extend(lane_results);
+        }
+        for lane in &mut self.lanes {
+            lane.backlog_ns = 0.0;
+        }
+    }
+
+    /// Blocks until the ticket's result is available (running the queues if
+    /// needed) and claims it. Each ticket is redeemed exactly once.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a ticket this fleet never issued or already redeemed.
+    pub fn wait(&mut self, ticket: FleetTicket) -> Result<CompilationResult, CompileError> {
+        if !self.results.contains_key(&ticket.0) {
+            self.run();
+        }
+        self.results
+            .remove(&ticket.0)
+            .expect("unknown or already-claimed fleet ticket")
+    }
+
+    /// Claims a result without triggering execution; `None` while the ticket
+    /// is still queued (call [`run`](Self::run) first) or after it was
+    /// claimed.
+    pub fn take(&mut self, ticket: FleetTicket) -> Option<Result<CompilationResult, CompileError>> {
+        self.results.remove(&ticket.0)
+    }
+
+    /// Every routing decision made so far, in submission order.
+    ///
+    /// A decision records the *initial* placement; a later relocation can
+    /// move the ticket, so consult [`placement`](Self::placement) for where a
+    /// ticket actually compiles (or compiled).
+    pub fn routing_log(&self) -> &[RoutingDecision] {
+        &self.routing_log
+    }
+
+    /// The backend the ticket is currently queued on — or, once run, the
+    /// backend that compiled it. Reflects relocations, unlike the initial
+    /// [`routing_log`](Self::routing_log) entry. `None` for tickets this
+    /// fleet never issued.
+    pub fn placement(&self, ticket: FleetTicket) -> Option<&str> {
+        self.placements
+            .get(&ticket.0)
+            .map(|&i| self.lanes[i].backend.label())
+    }
+
+    /// Every relocation performed so far, in the order they fired.
+    pub fn relocations(&self) -> &[Relocation] {
+        &self.relocations
+    }
+
+    /// Per-backend serving counters, in lane order.
+    pub fn stats(&self) -> Vec<FleetBackendStats> {
+        self.lanes
+            .iter()
+            .map(|lane| FleetBackendStats {
+                backend: lane.backend.label().to_string(),
+                submitted: lane.submitted,
+                completed: lane.completed,
+                relocated_in: lane.relocated_in,
+                relocated_out: lane.relocated_out,
+                queued: lane.queue.len(),
+                backlog_ns: lane.backlog_ns,
+            })
+            .collect()
+    }
+
+    /// The named backend's serving counters.
+    pub fn backend_stats(&self, label: &str) -> Option<FleetBackendStats> {
+        let idx = self.lane_index(label)?;
+        Some(self.stats().swap_remove(idx))
+    }
+
+    /// The named backend's compile-cache and request counters (the per-lane
+    /// [`CompileService`] telemetry).
+    pub fn cache_stats(&self, label: &str) -> Option<CompileCacheStats> {
+        let idx = self.lane_index(label)?;
+        Some(self.lanes[idx].service.compile_cache_stats())
+    }
+
+    fn lane_index(&self, label: &str) -> Option<usize> {
+        self.lanes.iter().position(|l| l.backend.label() == label)
+    }
+
+    /// Cost-model estimate of `circuit` on every lane, memoized by the
+    /// circuit's byte encoding (the cost pipeline is pure, so one estimate
+    /// per (backend, circuit) ever runs).
+    fn estimate_all(&mut self, circuit: &Circuit) -> Vec<f64> {
+        let mut encoding = Vec::with_capacity(circuit.len() * 20 + 8);
+        encoding.extend_from_slice(&(circuit.n_qubits() as u64).to_le_bytes());
+        for inst in circuit.instructions() {
+            inst.encode_into(&mut encoding);
+        }
+        (0..self.lanes.len())
+            .map(|i| {
+                if let Some(&cached) = self.estimate_memo.get(&(i, encoding.clone())) {
+                    return cached;
+                }
+                let lane = &self.lanes[i];
+                // Serial on purpose: estimates must not depend on the thread
+                // budget, and the ISA pricing pass is cheap.
+                let estimate = Compiler::for_backend(lane.backend)
+                    .with_threads(1)
+                    .run_pipeline(&self.cost_pipeline, circuit, &self.cost_options)
+                    .map(|r| r.total_latency_ns)
+                    .unwrap_or(f64::INFINITY);
+                self.estimate_memo.insert((i, encoding.clone()), estimate);
+                estimate
+            })
+            .collect()
+    }
+
+    /// The argmin-score lane for a request with the given per-lane estimates.
+    /// Lanes that cannot run the circuit (infinite estimate) are excluded;
+    /// when none can, the widest device takes it so the `DeviceTooSmall`
+    /// error surfaces from the most plausible backend.
+    fn route(&self, estimates: &[f64]) -> usize {
+        let mut best: Option<(usize, f64)> = None;
+        for (i, (lane, &est)) in self.lanes.iter().zip(estimates).enumerate() {
+            if !est.is_finite() {
+                continue;
+            }
+            let score = lane.pressure_with(est);
+            if best.is_none_or(|(_, b)| score < b) {
+                best = Some((i, score));
+            }
+        }
+        best.map(|(i, _)| i).unwrap_or_else(|| {
+            let mut widest = 0;
+            for (i, lane) in self.lanes.iter().enumerate() {
+                if lane.backend.device().n_qubits() > self.lanes[widest].backend.device().n_qubits()
+                {
+                    widest = i;
+                }
+            }
+            widest
+        })
+    }
+
+    /// SHIFT-style rebalance: repeatedly move the most-pressured lane's most
+    /// recently queued unpinned ticket to the lane where it would sit under
+    /// the least pressure, as long as the move wins more than the hysteresis
+    /// threshold. The iteration cap guarantees termination regardless of the
+    /// estimate landscape.
+    fn rebalance(&mut self) {
+        if self.lanes.len() < 2 || !self.hysteresis_ns.is_finite() {
+            return;
+        }
+        let total_queued: usize = self.lanes.iter().map(|l| l.queue.len()).sum();
+        for _ in 0..total_queued.saturating_mul(4) {
+            // Donor: highest pressure among lanes with movable (unpinned)
+            // queued work; first lane wins ties for determinism.
+            let Some(donor) = self
+                .lanes
+                .iter()
+                .enumerate()
+                .filter(|(_, l)| l.queue.iter().any(|p| !p.pinned))
+                .max_by(|(ai, a), (bi, b)| {
+                    a.pressure()
+                        .partial_cmp(&b.pressure())
+                        .expect("pressures are finite")
+                        .then(bi.cmp(ai))
+                })
+                .map(|(i, _)| i)
+            else {
+                return;
+            };
+            // Candidate: the donor's most recently queued unpinned ticket —
+            // the marginal admission, whose move disturbs the donor's
+            // schedule the least. Tickets with no viable recipient at all
+            // (infinite estimates everywhere else) are skipped; but once a
+            // movable candidate *has* a recipient and the move still doesn't
+            // clear the hysteresis, the fleet counts as balanced — reaching
+            // deeper into the queue for a ticket that happens to clear the
+            // bar would be exactly the churn the hysteresis exists to stop.
+            let donor_pressure = self.lanes[donor].pressure();
+            let mut chosen: Option<(usize, usize, f64)> = None;
+            for cand_pos in (0..self.lanes[donor].queue.len()).rev() {
+                if self.lanes[donor].queue[cand_pos].pinned {
+                    continue;
+                }
+                let estimates = &self.lanes[donor].queue[cand_pos].estimates;
+                // Recipient: the lane where this ticket lands under the least
+                // pressure; first lane wins ties.
+                let recipient = self
+                    .lanes
+                    .iter()
+                    .enumerate()
+                    .filter(|&(i, _)| i != donor)
+                    .filter(|&(i, _)| estimates[i].is_finite())
+                    .min_by(|(ai, a), (bi, b)| {
+                        a.pressure_with(estimates[*ai])
+                            .partial_cmp(&b.pressure_with(estimates[*bi]))
+                            .expect("pressures are finite")
+                            .then(ai.cmp(bi))
+                    })
+                    .map(|(i, _)| i);
+                let Some(recipient) = recipient else { continue };
+                let gain_ns =
+                    donor_pressure - self.lanes[recipient].pressure_with(estimates[recipient]);
+                if gain_ns > self.hysteresis_ns {
+                    chosen = Some((cand_pos, recipient, gain_ns));
+                }
+                break;
+            }
+            // The most-pressured lane has no winning move: the fleet is
+            // balanced (within the hysteresis band).
+            let Some((cand_pos, recipient, gain_ns)) = chosen else {
+                return;
+            };
+            let pending = self.lanes[donor].queue.remove(cand_pos);
+            self.lanes[donor].backlog_ns =
+                (self.lanes[donor].backlog_ns - finite_or_zero(pending.estimates[donor])).max(0.0);
+            self.lanes[donor].relocated_out += 1;
+            self.lanes[donor].submitted -= 1;
+            self.relocations.push(Relocation {
+                ticket: FleetTicket(pending.ticket),
+                from: self.lanes[donor].backend.label().to_string(),
+                to: self.lanes[recipient].backend.label().to_string(),
+                gain_ns,
+            });
+            self.lanes[recipient].backlog_ns += finite_or_zero(pending.estimates[recipient]);
+            self.lanes[recipient].relocated_in += 1;
+            self.lanes[recipient].submitted += 1;
+            self.placements.insert(pending.ticket, recipient);
+            self.lanes[recipient].queue.push(pending);
+        }
+    }
+}

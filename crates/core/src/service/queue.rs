@@ -71,7 +71,7 @@
 
 use crate::passes::{CompileError, PassContext, PassState, Pipeline};
 use crate::pipeline::{finish, CompilationResult, CompilerOptions};
-use crate::service::{request_fingerprint, CompileService};
+use crate::service::CompileService;
 use qcc_ir::Circuit;
 use std::collections::{HashMap, VecDeque};
 use std::fmt;
@@ -343,7 +343,7 @@ impl<'a, 'd> ServeHandle<'a, 'd> {
         submit: SubmitOptions,
     ) -> Result<Ticket, ServiceError> {
         let cache_key = if self.service.cache.enabled() {
-            Some(request_fingerprint(circuit, options))
+            Some(self.service.request_key(circuit, options))
         } else {
             None
         };
@@ -565,7 +565,8 @@ fn advance(service: &CompileService<'_>, engine: &Engine, mut job: Job) {
             service.model.as_ref(),
             &job.options,
             ThreadPool::serial(),
-        );
+        )
+        .with_backend_fingerprint(&service.fingerprint);
         if let Err(e) = job.pipeline.run_pass(job.cursor, &mut job.state, &ctx) {
             service.counters.completed.fetch_add(1, Ordering::Relaxed);
             let mut st = engine.state.lock().expect("serve engine poisoned");

@@ -61,11 +61,16 @@ impl Pipeline {
     /// With one thread, one circuit, or an empty pipeline this degrades to
     /// the serial per-circuit loop, with the full `threads` budget given to
     /// each compile's internal pricing loops.
+    /// `fingerprint` is the identity of the backend being compiled for (see
+    /// [`PassContext::with_backend_fingerprint`]); pass `&[]` for
+    /// backend-less compilations.
+    #[allow(clippy::too_many_arguments)] // internal engine API: one slot per pipeline input
     pub fn run_staged(
         &self,
         circuits: &[Circuit],
         device: &Device,
         model: &dyn LatencyModel,
+        fingerprint: &[u8],
         options: &CompilerOptions,
         threads: usize,
         stage_capacity: usize,
@@ -77,7 +82,8 @@ impl Pipeline {
             return circuits
                 .iter()
                 .map(|circuit| {
-                    let ctx = PassContext::new(circuit, device, model, options, pool);
+                    let ctx = PassContext::new(circuit, device, model, options, pool)
+                        .with_backend_fingerprint(fingerprint);
                     self.run(&ctx)
                 })
                 .collect();
@@ -108,7 +114,8 @@ impl Pipeline {
                 model,
                 options,
                 ThreadPool::serial(),
-            );
+            )
+            .with_backend_fingerprint(fingerprint);
             for i in range.clone() {
                 if let Err(e) = self.run_pass(i, &mut job.state, &ctx) {
                     record(job.index, Err(e));
@@ -216,6 +223,7 @@ mod tests {
                     &circuits,
                     &device,
                     &model,
+                    &[],
                     &options,
                     threads,
                     DEFAULT_STAGE_CAPACITY,
@@ -252,6 +260,7 @@ mod tests {
             &circuits,
             &device,
             &model,
+            &[],
             &options,
             4,
             DEFAULT_STAGE_CAPACITY,
@@ -274,9 +283,15 @@ mod tests {
         let model = CalibratedLatencyModel::new(device.limits);
         let options = CompilerOptions::strategy(Strategy::ClsAggregation);
         let circuits: Vec<Circuit> = (0..6).map(|i| workload(4, 0.2 + i as f64)).collect();
-        let out = Strategy::ClsAggregation
-            .pipeline()
-            .run_staged(&circuits, &device, &model, &options, 8, 1);
+        let out = Strategy::ClsAggregation.pipeline().run_staged(
+            &circuits,
+            &device,
+            &model,
+            &[],
+            &options,
+            8,
+            1,
+        );
         assert_eq!(out.len(), 6);
         assert!(out.iter().all(|r| r.is_ok()));
     }

@@ -1,0 +1,218 @@
+//! A compilation backend: one device plus the latency model that prices it.
+//!
+//! The paper's compiler assumes a single `Device` and a single
+//! [`LatencyModel`]; a serving fleet needs *many* — different topologies,
+//! different calibrations, analytic vs optimal-control pricing — living in one
+//! process. [`Backend`] bundles the pair with an identity (label), a relative
+//! capacity weight for dispatch, and an injective byte *fingerprint* that
+//! cache layers prepend to their keys so backends never collide in shared
+//! caches.
+//!
+//! ```
+//! use qcc_hw::{Backend, ControlLimits, Device, Topology};
+//!
+//! let base = ControlLimits::asplos19();
+//! let fleet = vec![
+//!     Backend::calibrated("line-a", Device::transmon_line(8)),
+//!     Backend::calibrated(
+//!         "grid-fast",
+//!         Device::transmon_with(Topology::near_square_grid(8), base.scaled_drives(1.5)),
+//!     )
+//!     .with_capacity_weight(2.0),
+//! ];
+//! assert_ne!(fleet[0].fingerprint(), fleet[1].fingerprint());
+//! ```
+
+use crate::device::Device;
+use crate::latency::{CalibratedLatencyModel, LatencyModel};
+use std::fmt;
+use std::sync::Arc;
+
+/// A named compilation target: device, latency model, and dispatch weight.
+///
+/// Backends are cheap to clone (the model is shared behind an [`Arc`]) and a
+/// whole heterogeneous fleet of them can live in one process: every cache in
+/// the stack keys on [`fingerprint`](Self::fingerprint), so pricing the same
+/// circuit against two backends never aliases.
+#[derive(Clone)]
+pub struct Backend {
+    label: String,
+    device: Device,
+    model: Arc<dyn LatencyModel>,
+    capacity_weight: f64,
+    fingerprint: Vec<u8>,
+}
+
+impl Backend {
+    /// A backend priced by the analytic [`CalibratedLatencyModel`] built from
+    /// the device's own control limits — the cheap, closed-form pricing tier.
+    pub fn calibrated(label: impl Into<String>, device: Device) -> Self {
+        let model = Arc::new(CalibratedLatencyModel::new(device.limits));
+        Self::with_model(label, device, model)
+    }
+
+    /// A backend priced by an arbitrary shared latency model — this is how
+    /// GRAPE-priced backends are built (`qcc-hw` cannot depend on
+    /// `qcc-control`, so the optimal-control model is injected):
+    ///
+    /// ```ignore
+    /// let grape = Arc::new(GrapeLatencyModel::fast_two_qubit());
+    /// let backend = Backend::with_model("grape-line", device, grape.clone());
+    /// // `grape.solve_count()` stays observable through the caller's clone.
+    /// ```
+    pub fn with_model(
+        label: impl Into<String>,
+        device: Device,
+        model: Arc<dyn LatencyModel>,
+    ) -> Self {
+        let label = label.into();
+        let mut fingerprint = Vec::with_capacity(label.len() + 64);
+        // Length-prefix the label so ("ab", device X) can never encode the
+        // same bytes as ("a", something starting with b'b').
+        fingerprint.extend_from_slice(&(label.len() as u64).to_le_bytes());
+        fingerprint.extend_from_slice(label.as_bytes());
+        device.encode_into(&mut fingerprint);
+        fingerprint.extend_from_slice(model.name().as_bytes());
+        Self {
+            label,
+            device,
+            model,
+            capacity_weight: 1.0,
+            fingerprint,
+        }
+    }
+
+    /// Sets the relative dispatch capacity of this backend (default `1.0`).
+    /// A backend with weight `2.0` absorbs roughly twice the backlog of a
+    /// weight-`1.0` peer before the router considers it equally loaded.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `weight` is not a positive finite number.
+    pub fn with_capacity_weight(mut self, weight: f64) -> Self {
+        assert!(
+            weight.is_finite() && weight > 0.0,
+            "backend capacity weight must be positive and finite, got {weight}"
+        );
+        self.capacity_weight = weight;
+        self
+    }
+
+    /// The backend's human-readable identity, unique within a fleet.
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// The physical device this backend compiles for.
+    pub fn device(&self) -> &Device {
+        &self.device
+    }
+
+    /// The latency model pricing this backend, as a trait object.
+    pub fn model(&self) -> &dyn LatencyModel {
+        self.model.as_ref()
+    }
+
+    /// The shared handle to the latency model (clone to keep instrumented
+    /// models, e.g. a GRAPE solve counter, observable from outside).
+    pub fn model_arc(&self) -> &Arc<dyn LatencyModel> {
+        &self.model
+    }
+
+    /// Relative dispatch capacity (see
+    /// [`with_capacity_weight`](Self::with_capacity_weight)).
+    pub fn capacity_weight(&self) -> f64 {
+        self.capacity_weight
+    }
+
+    /// Injective identity bytes: length-prefixed label, device encoding
+    /// (topology, interaction, control limits), and model name. Cache layers
+    /// prefix their keys with this so one process can serve a whole fleet
+    /// without cross-backend collisions.
+    pub fn fingerprint(&self) -> &[u8] {
+        &self.fingerprint
+    }
+}
+
+impl fmt::Debug for Backend {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Backend")
+            .field("label", &self.label)
+            .field("device", &self.device)
+            .field("model", &self.model.name())
+            .field("capacity_weight", &self.capacity_weight)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::ControlLimits;
+    use crate::topology::Topology;
+
+    #[test]
+    fn calibrated_backend_uses_device_limits() {
+        let limits = ControlLimits::asplos19().scaled_drives(2.0);
+        let b = Backend::calibrated("fast", Device::transmon_with(Topology::Linear(4), limits));
+        assert_eq!(b.label(), "fast");
+        assert_eq!(b.model().name(), "calibrated-xy");
+        assert_eq!(b.capacity_weight(), 1.0);
+        // The model is built from the *device's* limits, not the defaults: a
+        // doubled drive halves the interaction part of an iSWAP's latency.
+        let slow = Backend::calibrated("slow", Device::transmon_line(4));
+        let inst = qcc_ir::Instruction::new(qcc_ir::Gate::ISwap, vec![0, 1]);
+        let t_fast = b.model().isa_gate_latency(&inst);
+        let t_slow = slow.model().isa_gate_latency(&inst);
+        assert!(t_fast < t_slow, "fast {t_fast} vs slow {t_slow}");
+    }
+
+    #[test]
+    fn fingerprints_separate_backends() {
+        let line = Backend::calibrated("a", Device::transmon_line(4));
+        let same = Backend::calibrated("a", Device::transmon_line(4));
+        let renamed = Backend::calibrated("b", Device::transmon_line(4));
+        let grid = Backend::calibrated("a", Device::transmon_grid(4));
+        let fast = Backend::calibrated(
+            "a",
+            Device::transmon_with(
+                Topology::Linear(4),
+                ControlLimits::asplos19().scaled_drives(1.5),
+            ),
+        );
+        assert_eq!(line.fingerprint(), same.fingerprint());
+        assert_ne!(line.fingerprint(), renamed.fingerprint());
+        assert_ne!(line.fingerprint(), grid.fingerprint());
+        assert_ne!(line.fingerprint(), fast.fingerprint());
+        // Label length-prefixing: "ab"+rest cannot alias "a"+(b'b'-led rest).
+        let ab = Backend::calibrated("ab", Device::transmon_line(4));
+        assert_ne!(line.fingerprint(), ab.fingerprint());
+    }
+
+    #[test]
+    fn capacity_weight_builder() {
+        let b = Backend::calibrated("w", Device::transmon_line(3)).with_capacity_weight(2.5);
+        assert_eq!(b.capacity_weight(), 2.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity weight must be positive and finite")]
+    fn capacity_weight_rejects_zero() {
+        let _ = Backend::calibrated("w", Device::transmon_line(3)).with_capacity_weight(0.0);
+    }
+
+    #[test]
+    fn shared_model_stays_observable() {
+        let model = Arc::new(CalibratedLatencyModel::asplos19());
+        let b = Backend::with_model("shared", Device::transmon_line(3), model.clone());
+        assert_eq!(Arc::strong_count(b.model_arc()), 2);
+        assert_eq!(b.model().name(), model.name());
+    }
+
+    #[test]
+    fn debug_is_compact() {
+        let b = Backend::calibrated("dbg", Device::transmon_line(3));
+        let s = format!("{b:?}");
+        assert!(s.contains("dbg") && s.contains("calibrated-xy"));
+    }
+}

@@ -73,6 +73,42 @@ impl ControlLimits {
         Self::default()
     }
 
+    /// These limits with both drive amplitudes scaled by `factor` — the
+    /// one-knob way to model a faster (`factor > 1`) or slower (`factor < 1`)
+    /// calibration of the same platform when assembling a heterogeneous
+    /// fleet. Overheads and discretization are left untouched: they are
+    /// properties of the control electronics, not of the drive strength.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `factor` is not a positive finite number.
+    pub fn scaled_drives(self, factor: f64) -> Self {
+        assert!(
+            factor.is_finite() && factor > 0.0,
+            "drive scale factor must be positive and finite, got {factor}"
+        );
+        Self {
+            two_qubit_max_ghz: self.two_qubit_max_ghz * factor,
+            one_qubit_max_ghz: self.one_qubit_max_ghz * factor,
+            ..self
+        }
+    }
+
+    /// Appends an injective byte encoding of these limits (the raw
+    /// `f64::to_bits` patterns of every field) to `out` — the limits' part of
+    /// a backend fingerprint. Limits differing in any bit encode differently.
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        for v in [
+            self.two_qubit_max_ghz,
+            self.one_qubit_max_ghz,
+            self.instruction_overhead_ns,
+            self.single_qubit_overlap,
+            self.pulse_dt_ns,
+        ] {
+            out.extend_from_slice(&v.to_bits().to_le_bytes());
+        }
+    }
+
     /// Time in ns needed to accumulate `area` radians of two-qubit interaction
     /// phase at the maximum coupling drive.
     pub fn two_qubit_time(&self, area: f64) -> f64 {
@@ -100,21 +136,43 @@ pub struct Device {
 
 impl Device {
     /// A superconducting transmon device with XY coupling on the given
-    /// topology, using the paper's control limits.
-    pub fn transmon(topology: Topology) -> Self {
+    /// topology and explicit control limits — the constructor heterogeneous
+    /// fleets are built from (every calibration is spelled out, nothing is
+    /// implicitly the paper's).
+    pub fn transmon_with(topology: Topology, limits: ControlLimits) -> Self {
         Self {
             topology,
             interaction: InteractionType::Xy,
-            limits: ControlLimits::asplos19(),
+            limits,
         }
     }
 
+    /// A superconducting transmon device with XY coupling on the given
+    /// topology, using the paper's control limits.
+    ///
+    /// **Deprecated by doc**: this constructor hardcodes
+    /// [`ControlLimits::asplos19`], which silently pins every device built
+    /// through it to one calibration. Prefer [`transmon_with`](Self::transmon_with)
+    /// (and pass `ControlLimits::asplos19()` explicitly when that really is
+    /// the calibration you mean).
+    pub fn transmon(topology: Topology) -> Self {
+        Self::transmon_with(topology, ControlLimits::asplos19())
+    }
+
     /// A transmon grid sized for `n` program qubits.
+    ///
+    /// **Deprecated by doc**: hardcodes [`ControlLimits::asplos19`]; prefer
+    /// [`transmon_with`](Self::transmon_with) with
+    /// [`Topology::near_square_grid`] so heterogeneous fleets never
+    /// copy-paste a device just to change its limits.
     pub fn transmon_grid(n: usize) -> Self {
         Self::transmon(Topology::near_square_grid(n))
     }
 
     /// A transmon line (the topology of the paper's worked QAOA example).
+    ///
+    /// **Deprecated by doc**: hardcodes [`ControlLimits::asplos19`]; prefer
+    /// [`transmon_with`](Self::transmon_with) with [`Topology::Linear`].
     pub fn transmon_line(n: usize) -> Self {
         Self::transmon(Topology::Linear(n))
     }
@@ -122,6 +180,35 @@ impl Device {
     /// Number of physical qubits.
     pub fn n_qubits(&self) -> usize {
         self.topology.n_qubits()
+    }
+
+    /// Appends an injective byte encoding of the device — topology variant
+    /// and dimensions, interaction class, control limits — to `out`. This is
+    /// the device's contribution to a backend fingerprint: two devices that
+    /// could price or route any circuit differently encode differently.
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        match &self.topology {
+            Topology::Linear(n) => {
+                out.push(0);
+                out.extend_from_slice(&(*n as u64).to_le_bytes());
+            }
+            Topology::Grid { rows, cols } => {
+                out.push(1);
+                out.extend_from_slice(&(*rows as u64).to_le_bytes());
+                out.extend_from_slice(&(*cols as u64).to_le_bytes());
+            }
+            Topology::AllToAll(n) => {
+                out.push(2);
+                out.extend_from_slice(&(*n as u64).to_le_bytes());
+            }
+        }
+        out.push(match self.interaction {
+            InteractionType::Xy => 0,
+            InteractionType::Zz => 1,
+            InteractionType::Heisenberg => 2,
+            InteractionType::DipoleChain => 3,
+        });
+        self.limits.encode_into(out);
     }
 }
 
@@ -155,5 +242,64 @@ mod tests {
         let line = Device::transmon_line(3);
         assert_eq!(line.n_qubits(), 3);
         assert_eq!(line.topology, Topology::Linear(3));
+    }
+
+    #[test]
+    fn transmon_with_carries_explicit_limits() {
+        let limits = ControlLimits::asplos19().scaled_drives(2.0);
+        let d = Device::transmon_with(Topology::Linear(4), limits);
+        assert_eq!(d.topology, Topology::Linear(4));
+        assert_eq!(d.interaction, InteractionType::Xy);
+        assert!((d.limits.two_qubit_max_ghz - 0.04).abs() < 1e-12);
+        assert!((d.limits.one_qubit_max_ghz - 0.20).abs() < 1e-12);
+        // The implicit constructor is the explicit one at the paper's limits.
+        assert_eq!(
+            Device::transmon(Topology::Linear(4)),
+            Device::transmon_with(Topology::Linear(4), ControlLimits::asplos19())
+        );
+    }
+
+    #[test]
+    fn scaled_drives_leaves_overheads_alone() {
+        let base = ControlLimits::asplos19();
+        let fast = base.scaled_drives(1.5);
+        assert!((fast.two_qubit_max_ghz - base.two_qubit_max_ghz * 1.5).abs() < 1e-15);
+        assert!((fast.one_qubit_max_ghz - base.one_qubit_max_ghz * 1.5).abs() < 1e-15);
+        assert_eq!(fast.instruction_overhead_ns, base.instruction_overhead_ns);
+        assert_eq!(fast.single_qubit_overlap, base.single_qubit_overlap);
+        assert_eq!(fast.pulse_dt_ns, base.pulse_dt_ns);
+        // Faster drives mean shorter interaction times, proportionally.
+        let area = std::f64::consts::FRAC_PI_2;
+        assert!((fast.two_qubit_time(area) - base.two_qubit_time(area) / 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "drive scale factor must be positive and finite")]
+    fn scaled_drives_rejects_nonpositive_factor() {
+        ControlLimits::asplos19().scaled_drives(0.0);
+    }
+
+    #[test]
+    fn device_encodings_are_distinct() {
+        let encode = |d: &Device| {
+            let mut out = Vec::new();
+            d.encode_into(&mut out);
+            out
+        };
+        let line = Device::transmon_line(4);
+        let grid = Device::transmon_grid(4);
+        let fast_line = Device::transmon_with(
+            Topology::Linear(4),
+            ControlLimits::asplos19().scaled_drives(2.0),
+        );
+        // Same device encodes identically; any distinguishing detail —
+        // topology shape or limits — changes the bytes.
+        assert_eq!(encode(&line), encode(&Device::transmon_line(4)));
+        assert_ne!(encode(&line), encode(&grid));
+        assert_ne!(encode(&line), encode(&fast_line));
+        assert_ne!(encode(&line), encode(&Device::transmon_line(5)));
+        // Grid dims are length-prefixed by variant tag, so 1x4 != linear-4.
+        let grid_1x4 = Device::transmon(Topology::Grid { rows: 1, cols: 4 });
+        assert_ne!(encode(&line), encode(&grid_1x4));
     }
 }

@@ -1,0 +1,295 @@
+//! The fleet dispatch layer: cost-model routing must hand each request to one
+//! backend and produce results bit-identical to compiling directly against
+//! that backend; routing must be deterministic for a fixed submission trace
+//! at any thread count; skewed backlog must trigger SHIFT-style relocation of
+//! still-queued tickets without ever double-compiling; and GRAPE solves must
+//! stay exactly-once per (backend, instruction key) across the whole fleet.
+
+use qcc::compiler::{
+    CompilationResult, Compiler, CompilerOptions, Fleet, FleetSubmitOptions, Priority, Strategy,
+};
+use qcc::control::{GrapeConfig, GrapeLatencyModel};
+use qcc::hw::{Backend, ControlLimits, Device, Topology};
+use qcc::ir::Circuit;
+use qcc::workloads::{ising, qaoa};
+use std::sync::Arc;
+
+/// Three deliberately dissimilar backends: a line, a slower-calibrated grid,
+/// and a double-capacity all-to-all device.
+fn heterogeneous_backends() -> Vec<Backend> {
+    let limits = ControlLimits::asplos19();
+    vec![
+        Backend::calibrated("line-6", Device::transmon_line(6)),
+        Backend::calibrated(
+            "grid-6-slow",
+            Device::transmon_with(Topology::near_square_grid(6), limits.scaled_drives(0.8)),
+        ),
+        Backend::calibrated(
+            "wide-8",
+            Device::transmon_with(Topology::AllToAll(8), limits),
+        )
+        .with_capacity_weight(2.0),
+    ]
+}
+
+fn trace_circuits() -> Vec<Circuit> {
+    vec![
+        qaoa::maxcut_line(6),
+        ising::ising_chain(5),
+        qaoa::maxcut_reg4(6, 11),
+        ising::ising_chain(4),
+    ]
+}
+
+fn assert_bit_identical(a: &CompilationResult, b: &CompilationResult, what: &str) {
+    assert_eq!(a.instructions, b.instructions, "{what}: instructions");
+    assert_eq!(
+        a.latencies.len(),
+        b.latencies.len(),
+        "{what}: latency count"
+    );
+    for (i, (x, y)) in a.latencies.iter().zip(&b.latencies).enumerate() {
+        assert_eq!(x.to_bits(), y.to_bits(), "{what}: latency {i}");
+    }
+    assert_eq!(
+        a.total_latency_ns.to_bits(),
+        b.total_latency_ns.to_bits(),
+        "{what}: total latency"
+    );
+    assert_eq!(a.swap_count, b.swap_count, "{what}: swap count");
+}
+
+#[test]
+fn routed_results_are_bit_identical_to_direct_compiles_for_every_strategy() {
+    let backends = heterogeneous_backends();
+    let circuits = trace_circuits();
+    let mut fleet = Fleet::new(&backends);
+    let mut submitted = Vec::new();
+    for strategy in Strategy::all() {
+        let options = CompilerOptions::strategy(strategy);
+        for circuit in &circuits {
+            let ticket = fleet.submit(circuit, &options);
+            submitted.push((ticket, circuit.clone(), options.clone()));
+        }
+    }
+    assert_eq!(fleet.routing_log().len(), submitted.len());
+    for (i, (ticket, circuit, options)) in submitted.into_iter().enumerate() {
+        assert_eq!(
+            fleet.routing_log()[i].ticket,
+            ticket,
+            "log is in submission order"
+        );
+        // `placement` is the final lane (relocations included); the routing
+        // log keeps the initial decision.
+        let label = fleet
+            .placement(ticket)
+            .expect("ticket was placed")
+            .to_string();
+        let routed = fleet.wait(ticket).expect("fleet compile succeeds");
+        let backend = backends
+            .iter()
+            .find(|b| b.label() == label)
+            .expect("placement names a fleet backend");
+        let direct = Compiler::for_backend(backend)
+            .with_threads(1)
+            .compile(&circuit, &options);
+        assert_bit_identical(
+            &routed,
+            &direct,
+            &format!("{:?} on {}", options.strategy, backend.label()),
+        );
+    }
+}
+
+#[test]
+fn routing_is_deterministic_for_a_fixed_trace_at_any_thread_count() {
+    let backends = heterogeneous_backends();
+    let circuits = trace_circuits();
+    let run_trace = |threads: usize| {
+        let mut fleet = Fleet::new(&backends).with_threads(threads);
+        let mut tickets = Vec::new();
+        for (i, strategy) in Strategy::all().into_iter().enumerate() {
+            let options = CompilerOptions::strategy(strategy);
+            for (j, circuit) in circuits.iter().enumerate() {
+                let submit = if (i + j) % 2 == 0 {
+                    FleetSubmitOptions::default()
+                } else {
+                    FleetSubmitOptions::default().priority(Priority::Batch)
+                };
+                tickets.push(fleet.submit_with(circuit, &options, submit));
+            }
+        }
+        // One pinned straggler exercises the pinned path in the log.
+        tickets.push(fleet.submit_with(
+            &circuits[0],
+            &CompilerOptions::strategy(Strategy::Cls),
+            FleetSubmitOptions::default().pin("wide-8"),
+        ));
+        let log = fleet.routing_log().to_vec();
+        let relocations = fleet.relocations().to_vec();
+        fleet.run();
+        let stats = fleet.stats();
+        let results: Vec<Vec<u64>> = tickets
+            .into_iter()
+            .map(|t| {
+                fleet
+                    .wait(t)
+                    .expect("fleet compile succeeds")
+                    .latencies
+                    .iter()
+                    .map(|l| l.to_bits())
+                    .collect()
+            })
+            .collect();
+        (log, relocations, stats, results)
+    };
+    let reference = run_trace(1);
+    for threads in [4, 8] {
+        let run = run_trace(threads);
+        assert_eq!(reference.0, run.0, "routing log at {threads} threads");
+        assert_eq!(reference.1, run.1, "relocations at {threads} threads");
+        assert_eq!(reference.2, run.2, "fleet stats at {threads} threads");
+        assert_eq!(reference.3, run.3, "result bits at {threads} threads");
+    }
+    let pinned = reference.0.last().expect("non-empty log");
+    assert!(pinned.pinned, "last decision is the pinned submit");
+    assert_eq!(pinned.backend, "wide-8");
+    assert!(pinned.candidates.is_empty(), "pinned submits skip quoting");
+}
+
+#[test]
+fn capacity_derate_relocates_queued_tickets_without_double_compiling() {
+    let limits = ControlLimits::asplos19();
+    let backends = vec![
+        Backend::calibrated("twin-a", Device::transmon_line(8)),
+        Backend::calibrated("twin-b", Device::transmon_line(8)),
+    ];
+    let mut fleet = Fleet::new(&backends);
+    let options = CompilerOptions::strategy(Strategy::Cls);
+    let mut tickets = Vec::new();
+    // Distinct circuits so the per-lane compile caches cannot mask a double
+    // compile. Twin backends make the router alternate lanes.
+    let circuits: Vec<Circuit> = (3..9).map(ising::ising_chain).collect();
+    for circuit in &circuits {
+        tickets.push(fleet.submit(circuit, &options));
+    }
+    let pinned = fleet.submit_with(
+        &qaoa::maxcut_line(5),
+        &options,
+        FleetSubmitOptions::default().pin("twin-a"),
+    );
+    assert!(
+        fleet.relocations().is_empty(),
+        "balanced twins must not churn"
+    );
+    let queued_on_a = fleet.backend_stats("twin-a").unwrap().queued;
+    assert!(queued_on_a >= 2, "router should have used both twins");
+
+    // The SHIFT signal: twin-a's capacity collapses, so its queued unpinned
+    // tickets must migrate to twin-b. The pinned ticket stays put.
+    fleet.set_capacity_weight("twin-a", 1e-6);
+    let moved = fleet.relocations().len();
+    assert!(moved >= 1, "derate must trigger at least one relocation");
+    for relocation in fleet.relocations() {
+        assert_eq!(relocation.from, "twin-a");
+        assert_eq!(relocation.to, "twin-b");
+        assert!(relocation.gain_ns > 0.0);
+    }
+    let stats_a = fleet.backend_stats("twin-a").unwrap();
+    let stats_b = fleet.backend_stats("twin-b").unwrap();
+    assert_eq!(stats_a.relocated_out, moved);
+    assert_eq!(stats_b.relocated_in, moved);
+    assert_eq!(stats_a.queued, 1, "only the pinned ticket may remain");
+
+    fleet.run();
+    for ticket in tickets {
+        fleet.wait(ticket).expect("relocated compile succeeds");
+    }
+    let relocated_result = fleet.wait(pinned).expect("pinned compile succeeds");
+    let direct = Compiler::for_backend(&backends[0])
+        .with_threads(1)
+        .compile(&qaoa::maxcut_line(5), &options);
+    assert_bit_identical(&relocated_result, &direct, "pinned ticket on twin-a");
+
+    // Exactly one lane compiled each ticket: the per-lane service counters
+    // must sum to the number of fleet submissions, with twin-a serving only
+    // its pinned ticket.
+    let cache_a = fleet.cache_stats("twin-a").unwrap();
+    let cache_b = fleet.cache_stats("twin-b").unwrap();
+    assert_eq!(
+        cache_a.submitted, 1,
+        "twin-a compiled only the pinned ticket"
+    );
+    assert_eq!(
+        cache_a.submitted + cache_b.submitted,
+        circuits.len() + 1,
+        "every ticket compiled exactly once across the fleet"
+    );
+    assert_eq!(cache_a.completed + cache_b.completed, circuits.len() + 1);
+    let _ = limits;
+}
+
+#[test]
+fn grape_solves_stay_exactly_once_per_backend_across_the_fleet() {
+    let device_a = Device::transmon_line(5);
+    let device_b = Device::transmon_grid(5);
+    let model_a = Arc::new(GrapeLatencyModel::fast_two_qubit());
+    let model_b = Arc::new(GrapeLatencyModel::new(
+        ControlLimits::asplos19(),
+        GrapeConfig {
+            seed: 99,
+            ..GrapeConfig::fast()
+        },
+        2,
+    ));
+    let backends = vec![
+        Backend::with_model("grape-a", device_a, model_a.clone()),
+        Backend::with_model("grape-b", device_b, model_b.clone()),
+    ];
+    let mut fleet = Fleet::new(&backends);
+    let options = CompilerOptions::strategy(Strategy::ClsAggregation);
+    // Duplicated circuits in one trace: the duplicates must hit the caches,
+    // not re-solve.
+    let circuits = [
+        ising::ising_chain(4),
+        qaoa::maxcut_line(5),
+        ising::ising_chain(4),
+        qaoa::maxcut_line(5),
+    ];
+    let tickets: Vec<_> = circuits.iter().map(|c| fleet.submit(c, &options)).collect();
+    assert_eq!(
+        model_a.solve_count() + model_b.solve_count(),
+        0,
+        "cost-model routing must not trigger GRAPE solves"
+    );
+    for ticket in tickets {
+        fleet.wait(ticket).expect("grape-priced compile succeeds");
+    }
+    for (label, model) in [("grape-a", &model_a), ("grape-b", &model_b)] {
+        assert_eq!(
+            model.solve_count(),
+            model.cached_entries(),
+            "{label}: every cached key solved exactly once"
+        );
+    }
+    let solves_after_first = (model_a.solve_count(), model_b.solve_count());
+
+    // Replaying the same trace (pinned to the same lanes) must be pure cache
+    // hits on both backends.
+    let replay: Vec<_> = circuits
+        .iter()
+        .enumerate()
+        .map(|(i, c)| {
+            let lane = fleet.routing_log()[i].backend.clone();
+            fleet.submit_with(c, &options, FleetSubmitOptions::default().pin(lane))
+        })
+        .collect();
+    for ticket in replay {
+        fleet.wait(ticket).expect("replayed compile succeeds");
+    }
+    assert_eq!(
+        (model_a.solve_count(), model_b.solve_count()),
+        solves_after_first,
+        "replay must not re-solve any (backend, key) pair"
+    );
+}
