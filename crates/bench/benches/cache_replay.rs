@@ -1,0 +1,150 @@
+//! Cache replay: the persistent, reuse-predicting cache tier under a serving
+//! workload.
+//!
+//! Two experiments run:
+//!
+//! 1. **Cold vs. warm restart** — a GRAPE-priced service compiles a workload
+//!    from scratch (every pulse solved), snapshots to disk, and a fresh
+//!    service warm-starts from the snapshot and replays the same workload.
+//!    The warm run must perform zero GRAPE solves; the recorded timings are
+//!    the restart story CI smokes (`QCC_CACHE_DIR`).
+//! 2. **SHiP vs. plain LRU replay** — hot recipes interleaved with one-shot
+//!    fillers against a capacity-limited result cache under both eviction
+//!    policies; the reuse predictor's hit rate is the figure of merit.
+//!
+//! Timings land in the machine-readable bench log (`QCC_BENCH_JSON`).
+
+use qcc_bench::{banner, record_compile_timing, render_table, write_bench_json};
+use qcc_control::GrapeLatencyModel;
+use qcc_core::{CachePolicy, CompileService, CompilerOptions, Strategy};
+use qcc_hw::Device;
+use qcc_ir::{Circuit, Gate};
+use std::time::Instant;
+
+/// A two-qubit block whose request key is unique per `tag`.
+fn keyed_circuit(tag: usize) -> Circuit {
+    let mut c = Circuit::new(2);
+    c.push(Gate::H, &[0]);
+    c.push(Gate::Cnot, &[0, 1]);
+    c.push(Gate::Rz(0.001 + tag as f64 * 1.0e-6), &[1]);
+    c.push(Gate::Cnot, &[0, 1]);
+    c
+}
+
+fn main() {
+    banner(
+        "Cache replay — persistent snapshots and reuse-predicting eviction",
+        "optimal-control caching around the §4 aggregation loop",
+    );
+    let device = Device::transmon_line(2);
+    let options = CompilerOptions::strategy(Strategy::ClsAggregation);
+    let workload: Vec<Circuit> = (0..8).map(keyed_circuit).collect();
+
+    // --- Experiment 1: cold run, snapshot, warm restart. ---
+    let dir = std::env::temp_dir().join(format!("qcc-cache-replay-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let grape = GrapeLatencyModel::fast_two_qubit();
+    let service = CompileService::with_model(&device, Box::new(&grape)).with_threads(1);
+    let started = Instant::now();
+    for c in &workload {
+        service.compile(c, &options).expect("workload compiles");
+    }
+    let cold_seconds = started.elapsed().as_secs_f64();
+    let cold_solves = grape.solve_count();
+    let written = service
+        .snapshot_to(&dir)
+        .expect("snapshot directory is writable");
+    record_compile_timing("cache-cold", Strategy::ClsAggregation, cold_seconds);
+
+    let grape_warm = GrapeLatencyModel::fast_two_qubit();
+    let warm_service = CompileService::with_model(&device, Box::new(&grape_warm)).with_threads(1);
+    let loaded = warm_service.warm_start_or_cold(&dir);
+    let started = Instant::now();
+    for c in &workload {
+        warm_service
+            .compile(c, &options)
+            .expect("workload compiles");
+    }
+    let warm_seconds = started.elapsed().as_secs_f64();
+    let warm_solves = grape_warm.solve_count();
+    record_compile_timing("cache-warm-start", Strategy::ClsAggregation, warm_seconds);
+    assert_eq!(warm_solves, 0, "warm start must not re-solve pulses");
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // --- Experiment 2: SHiP vs. plain LRU on a hot-set + filler replay. ---
+    let replay = |policy: CachePolicy| {
+        let service = CompileService::new(&device)
+            .with_threads(1)
+            .with_compile_cache_policy(4, policy);
+        let opts = CompilerOptions::strategy(Strategy::IsaBaseline);
+        let mut filler = 10_000;
+        let started = Instant::now();
+        for _round in 0..16 {
+            for hot in 0..4 {
+                service.compile(&keyed_circuit(hot), &opts).unwrap();
+            }
+            for _ in 0..6 {
+                service.compile(&keyed_circuit(filler), &opts).unwrap();
+                filler += 1;
+            }
+        }
+        (
+            started.elapsed().as_secs_f64(),
+            service.compile_cache_stats(),
+        )
+    };
+    let (lru_seconds, lru_stats) = replay(CachePolicy::PlainLru);
+    let (ship_seconds, ship_stats) = replay(CachePolicy::Ship);
+    record_compile_timing("replay-lru", Strategy::IsaBaseline, lru_seconds);
+    record_compile_timing("replay-ship", Strategy::IsaBaseline, ship_seconds);
+    assert!(
+        ship_stats.hits > lru_stats.hits,
+        "the reuse predictor must beat plain LRU on the hot-set replay"
+    );
+
+    let hit_rate = |hits: usize, misses: usize| {
+        format!(
+            "{:.1}%",
+            100.0 * hits as f64 / (hits + misses).max(1) as f64
+        )
+    };
+    println!(
+        "{}",
+        render_table(
+            &["experiment", "wall-clock (s)", "GRAPE solves", "hit rate"],
+            &[
+                vec![
+                    "cold compile".into(),
+                    format!("{cold_seconds:.3}"),
+                    cold_solves.to_string(),
+                    "-".into(),
+                ],
+                vec![
+                    "warm restart".into(),
+                    format!("{warm_seconds:.3}"),
+                    warm_solves.to_string(),
+                    "100.0%".into(),
+                ],
+                vec![
+                    "replay (plain LRU)".into(),
+                    format!("{lru_seconds:.3}"),
+                    "-".into(),
+                    hit_rate(lru_stats.hits, lru_stats.misses),
+                ],
+                vec![
+                    "replay (SHiP)".into(),
+                    format!("{ship_seconds:.3}"),
+                    "-".into(),
+                    hit_rate(ship_stats.hits, ship_stats.misses),
+                ],
+            ],
+        )
+    );
+    println!(
+        "snapshot: {written} records written, {loaded} loaded back; \
+         SHiP trained {} signatures, predicted {} one-shot inserts",
+        ship_stats.trained_signatures, ship_stats.predicted_one_shot,
+    );
+    write_bench_json("cache_replay");
+}

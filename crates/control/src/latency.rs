@@ -11,8 +11,9 @@
 use crate::grape::{GrapeConfig, GrapeOptimizer, GrapeResult};
 use crate::hamiltonian::TransmonSystem;
 use parking_lot::Mutex;
-use qcc_hw::{CalibratedLatencyModel, ControlLimits, LatencyModel, PricingStats};
-use qcc_ir::Instruction;
+use qcc_hw::persist::SnapshotWriter;
+use qcc_hw::{CalibratedLatencyModel, ControlLimits, LatencyModel, PersistError, PricingStats};
+use qcc_ir::{ByteCursor, Instruction};
 use qcc_math::{gate_fidelity, CMatrix};
 use std::collections::{HashMap, HashSet};
 use std::hash::{Hash, Hasher};
@@ -24,6 +25,9 @@ use threadpool::ThreadPool;
 /// pricing threads only contend when their keys hash to the same shard, so a
 /// modest power of two comfortably covers the pool sizes we run.
 const CACHE_SHARDS: usize = 16;
+
+/// Snapshot kind tag for the GRAPE solve cache (see [`qcc_hw::persist`]).
+pub const GRAPE_SNAPSHOT_KIND: &str = "grape-latency-cache";
 
 /// A sharded, compute-once latency cache.
 ///
@@ -62,6 +66,27 @@ impl ShardedLatencyCache {
     /// Number of cached keys across all shards (including in-flight solves).
     fn len(&self) -> usize {
         self.shards.iter().map(|s| s.lock().len()).sum()
+    }
+
+    /// Every *settled* entry — keys whose solve has completed. In-flight
+    /// slots are skipped: a snapshot taken mid-compile simply omits them.
+    fn settled_entries(&self) -> Vec<(Vec<u8>, f64)> {
+        let mut out = Vec::new();
+        for shard in &self.shards {
+            for (key, slot) in shard.lock().iter() {
+                if let Some(&v) = slot.get() {
+                    out.push((key.clone(), v));
+                }
+            }
+        }
+        out
+    }
+
+    /// Seeds `key` with `value` unless the key already has a slot (occupied
+    /// or in-flight) — a warm start never overwrites live state.
+    fn seed(&self, key: Vec<u8>, value: f64) {
+        let slot = self.slot(key);
+        let _ = slot.set(value);
     }
 }
 
@@ -193,6 +218,85 @@ impl GrapeLatencyModel {
         self.solves.load(Ordering::Relaxed)
     }
 
+    /// Serializes every settled cache entry to `path` (atomic
+    /// write-temp-then-rename; see [`qcc_hw::persist`]). The snapshot is
+    /// namespaced by this model's solver fingerprint — control limits, full
+    /// GRAPE configuration, width cutoff, bisection depth — so a model with
+    /// *any* different calibration will refuse to load it. Returns the number
+    /// of entries written. In-flight solves are skipped; records are sorted
+    /// by key so identical cache contents always produce identical files.
+    pub fn snapshot_to(&self, path: &std::path::Path) -> Result<usize, PersistError> {
+        let mut entries = self.cache.settled_entries();
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        let mut writer = SnapshotWriter::new(GRAPE_SNAPSHOT_KIND, &self.key_prefix);
+        for (key, value) in &entries {
+            // Keys are prefix + instruction stream; the prefix doubles as the
+            // snapshot fingerprint, so only the suffix goes in the record.
+            let suffix = &key[self.key_prefix.len()..];
+            let mut payload = Vec::with_capacity(suffix.len() + 16);
+            payload.extend_from_slice(&(suffix.len() as u64).to_le_bytes());
+            payload.extend_from_slice(suffix);
+            payload.extend_from_slice(&value.to_bits().to_le_bytes());
+            writer.record(&payload);
+        }
+        let count = writer.len();
+        qcc_hw::persist::write_atomic(path, &writer.finish())?;
+        Ok(count)
+    }
+
+    /// Warm-starts the solve cache from a snapshot written by
+    /// [`snapshot_to`](Self::snapshot_to). Returns the number of entries
+    /// loaded. Strict by design: a corrupt, truncated, foreign-version, or
+    /// differently-calibrated snapshot is rejected with a [`PersistError`]
+    /// naming the mismatch, and the cache is left exactly as it was — callers
+    /// that prefer a silent cold start match on the error themselves. Loaded
+    /// entries do not count as solves or queries, so
+    /// [`solve_count`](Self::solve_count) still reports only this process's
+    /// work — the warm-start tests pin it at zero.
+    pub fn warm_start_from(&self, path: &std::path::Path) -> Result<usize, PersistError> {
+        let records = qcc_hw::persist::load_records(path, GRAPE_SNAPSHOT_KIND, &self.key_prefix)?;
+        // Validate every record before touching the cache: a load is
+        // all-or-nothing.
+        let mut entries = Vec::with_capacity(records.len());
+        for payload in &records {
+            let mut cur = ByteCursor::new(payload);
+            let suffix_len = cur
+                .len("grape record key length")
+                .map_err(|detail| PersistError::Malformed { detail })?;
+            let suffix = cur
+                .bytes(suffix_len, "grape record key")
+                .map_err(|detail| PersistError::Malformed { detail })?;
+            // The key suffix must be a well-formed instruction stream — the
+            // checksum guards against corruption, this guards against a
+            // confused writer.
+            let mut check = ByteCursor::new(suffix);
+            while !check.is_empty() {
+                Instruction::decode_from(&mut check)
+                    .map_err(|detail| PersistError::Malformed { detail })?;
+            }
+            let value = cur
+                .f64("grape record latency")
+                .map_err(|detail| PersistError::Malformed { detail })?;
+            if !cur.is_empty() {
+                return Err(PersistError::Malformed {
+                    detail: qcc_ir::DecodeError {
+                        what: "grape record (trailing bytes)",
+                        offset: cur.offset(),
+                    },
+                });
+            }
+            let mut key = Vec::with_capacity(self.key_prefix.len() + suffix.len());
+            key.extend_from_slice(&self.key_prefix);
+            key.extend_from_slice(suffix);
+            entries.push((key, value));
+        }
+        let count = entries.len();
+        for (key, value) in entries {
+            self.cache.seed(key, value);
+        }
+        Ok(count)
+    }
+
     /// Builds the target unitary of an instruction list on its (sorted) local
     /// qubit support, together with that support.
     pub fn target_unitary(constituents: &[Instruction]) -> (CMatrix, Vec<usize>) {
@@ -307,8 +411,35 @@ impl LatencyModel for GrapeLatencyModel {
         })
     }
 
+    fn persistent_cache(&self) -> Option<&dyn qcc_hw::PersistentCache> {
+        Some(self)
+    }
+
     fn name(&self) -> &'static str {
         "grape-xy"
+    }
+}
+
+/// The GRAPE solve cache is the workspace's most expensive state — this is
+/// the snapshot/warm-start surface front doors reach through
+/// [`LatencyModel::persistent_cache`]. Delegates to the inherent
+/// [`snapshot_to`](GrapeLatencyModel::snapshot_to) /
+/// [`warm_start_from`](GrapeLatencyModel::warm_start_from) methods.
+impl qcc_hw::PersistentCache for GrapeLatencyModel {
+    fn snapshot_kind(&self) -> &'static str {
+        GRAPE_SNAPSHOT_KIND
+    }
+
+    fn snapshot_fingerprint(&self) -> Vec<u8> {
+        self.key_prefix.clone()
+    }
+
+    fn snapshot_to(&self, path: &std::path::Path) -> Result<usize, PersistError> {
+        GrapeLatencyModel::snapshot_to(self, path)
+    }
+
+    fn warm_start_from(&self, path: &std::path::Path) -> Result<usize, PersistError> {
+        GrapeLatencyModel::warm_start_from(self, path)
     }
 }
 
@@ -355,6 +486,128 @@ mod tests {
 
     fn inst(gate: Gate, qubits: &[usize]) -> Instruction {
         Instruction::new(gate, qubits.to_vec())
+    }
+
+    /// A unique temp path for snapshot tests (no tempfile dependency).
+    fn scratch(tag: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!(
+            "qcc-grape-snap-{}-{}.qccsnap",
+            tag,
+            std::process::id()
+        ))
+    }
+
+    #[test]
+    fn snapshot_round_trip_restores_latencies_without_solves() {
+        let writer = GrapeLatencyModel::fast_two_qubit();
+        let queries: Vec<Vec<Instruction>> = vec![
+            vec![inst(Gate::X, &[0])],
+            vec![inst(Gate::H, &[0]), inst(Gate::Rz(0.3), &[0])],
+            vec![inst(Gate::Cnot, &[0, 1])],
+        ];
+        let expected: Vec<f64> = queries
+            .iter()
+            .map(|q| writer.aggregate_latency(q))
+            .collect();
+        assert_eq!(writer.solve_count(), 3);
+
+        let path = scratch("roundtrip");
+        assert_eq!(writer.snapshot_to(&path).unwrap(), 3);
+
+        // A fresh, identically configured model warm-starts to the same
+        // answers with zero new solves, bit-identically.
+        let reader = GrapeLatencyModel::fast_two_qubit();
+        assert_eq!(reader.warm_start_from(&path).unwrap(), 3);
+        assert_eq!(reader.solve_count(), 0);
+        assert_eq!(reader.cached_entries(), 3);
+        for (q, want) in queries.iter().zip(&expected) {
+            assert_eq!(reader.aggregate_latency(q).to_bits(), want.to_bits());
+        }
+        assert_eq!(reader.solve_count(), 0, "warm cache must answer everything");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn snapshots_are_deterministic_bytes() {
+        let a = GrapeLatencyModel::fast_two_qubit();
+        let b = GrapeLatencyModel::fast_two_qubit();
+        // Prime the two caches in different orders; the sorted snapshot must
+        // come out byte-identical.
+        let q1 = [inst(Gate::X, &[0])];
+        let q2 = [inst(Gate::Cnot, &[0, 1])];
+        a.aggregate_latency(&q1);
+        a.aggregate_latency(&q2);
+        b.aggregate_latency(&q2);
+        b.aggregate_latency(&q1);
+        let (pa, pb) = (scratch("det-a"), scratch("det-b"));
+        a.snapshot_to(&pa).unwrap();
+        b.snapshot_to(&pb).unwrap();
+        assert_eq!(std::fs::read(&pa).unwrap(), std::fs::read(&pb).unwrap());
+        std::fs::remove_file(&pa).unwrap();
+        std::fs::remove_file(&pb).unwrap();
+    }
+
+    #[test]
+    fn stale_calibration_snapshot_is_rejected_naming_the_mismatch() {
+        let writer = GrapeLatencyModel::fast_two_qubit();
+        writer.aggregate_latency(&[inst(Gate::X, &[0])]);
+        let path = scratch("stale");
+        writer.snapshot_to(&path).unwrap();
+
+        // Same gates, different device calibration: the solver fingerprint
+        // differs, so the cached pulse durations would be *wrong* here.
+        let recalibrated = GrapeLatencyModel::new(
+            ControlLimits::asplos19().scaled_drives(2.0),
+            GrapeConfig::fast(),
+            2,
+        );
+        let err = recalibrated.warm_start_from(&path).unwrap_err();
+        assert!(
+            matches!(err, PersistError::FingerprintMismatch { .. }),
+            "expected FingerprintMismatch, got {err}"
+        );
+        assert!(err.to_string().contains("fingerprint mismatch"), "{err}");
+        // The rejected load left the cache cold.
+        assert_eq!(recalibrated.cached_entries(), 0);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn corrupt_snapshot_is_rejected_and_cache_untouched() {
+        let writer = GrapeLatencyModel::fast_two_qubit();
+        writer.aggregate_latency(&[inst(Gate::X, &[0])]);
+        let path = scratch("corrupt");
+        writer.snapshot_to(&path).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x40;
+        std::fs::write(&path, &bytes).unwrap();
+
+        let reader = GrapeLatencyModel::fast_two_qubit();
+        assert!(reader.warm_start_from(&path).is_err());
+        assert_eq!(reader.cached_entries(), 0);
+        // Cold start still works and prices correctly.
+        let t = reader.aggregate_latency(&[inst(Gate::X, &[0])]);
+        assert!(t.is_finite() && t > 0.0);
+        assert_eq!(reader.solve_count(), 1);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn warm_start_never_overwrites_live_entries() {
+        let writer = GrapeLatencyModel::fast_two_qubit();
+        let q = [inst(Gate::X, &[0])];
+        let t = writer.aggregate_latency(&q);
+        let path = scratch("no-clobber");
+        writer.snapshot_to(&path).unwrap();
+
+        let reader = GrapeLatencyModel::fast_two_qubit();
+        let live = reader.aggregate_latency(&q);
+        assert_eq!(live.to_bits(), t.to_bits());
+        reader.warm_start_from(&path).unwrap();
+        assert_eq!(reader.aggregate_latency(&q).to_bits(), live.to_bits());
+        assert_eq!(reader.cached_entries(), 1);
+        std::fs::remove_file(&path).unwrap();
     }
 
     #[test]

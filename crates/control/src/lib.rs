@@ -32,5 +32,5 @@ pub mod pulse;
 
 pub use grape::{optimize_pulse, GrapeConfig, GrapeOptimizer, GrapeResult};
 pub use hamiltonian::{ControlKind, TransmonSystem};
-pub use latency::{verify_pulse, GrapeLatencyModel, PulseVerification};
+pub use latency::{verify_pulse, GrapeLatencyModel, PulseVerification, GRAPE_SNAPSHOT_KIND};
 pub use pulse::PulseProgram;

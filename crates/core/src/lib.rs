@@ -53,6 +53,7 @@ pub mod handopt;
 pub mod instr;
 pub mod mapping;
 pub mod passes;
+pub mod persist;
 pub mod pipeline;
 pub mod schedule;
 pub mod service;
@@ -66,10 +67,11 @@ pub use passes::{
     CompileError, GatePricing, Pass, PassContext, PassReport, PassState, Pipeline, PipelineBuilder,
 };
 // Re-exported so `PassReport::pricing` consumers need no direct qcc-hw dep.
+pub use persist::{cache_dir_from, cache_dir_from_env, decode_result, encode_result};
 pub use pipeline::{
     CompilationResult, Compiler, CompilerOptions, ParseStrategyError, Strategy, StrategyComparison,
 };
-pub use qcc_hw::{Backend, PricingStats};
+pub use qcc_hw::{Backend, PersistError, PersistentCache, PricingStats};
 pub use schedule::{asap_schedule, Schedule, ScheduledInstruction};
 pub use service::fleet::{
     CandidateQuote, Fleet, FleetBackendStats, FleetSubmitOptions, FleetTicket, Relocation,
@@ -79,7 +81,8 @@ pub use service::queue::{
     PassProgress, Priority, ServeConfig, ServeHandle, ServiceError, SubmitOptions, Ticket,
 };
 pub use service::{
-    compile_with_default_model, CompileCacheStats, CompileService, DEFAULT_COMPILE_CACHE_CAPACITY,
+    compile_with_default_model, CachePolicy, CompileCacheStats, CompileService,
+    DEFAULT_COMPILE_CACHE_CAPACITY,
 };
 pub use staged::DEFAULT_STAGE_CAPACITY;
 pub use verify::{verify_compilation, verify_sampled_pulses, CircuitVerification};

@@ -287,6 +287,25 @@ impl PassState {
     }
 }
 
+/// Resolves a pass name read from a serialized [`PassReport`] back to the
+/// `&'static str` the in-tree pass of that name uses, or `None` for a name no
+/// pass in this build claims (a snapshot from a diverged build — the decoder
+/// rejects it rather than inventing an interned string).
+pub fn intern_pass_name(name: &str) -> Option<&'static str> {
+    const KNOWN: [&str; 9] = [
+        "flatten",
+        "commutativity-detection",
+        "hand-optimization",
+        "cls",
+        "route",
+        "aggregation",
+        "final-cls",
+        "price",
+        "schedule",
+    ];
+    KNOWN.iter().find(|&&k| k == name).copied()
+}
+
 /// Report of one executed pass: the shape of the instruction stream after it
 /// ran, and how long it took (the material of Fig. 6, plus serving telemetry).
 #[derive(Debug, Clone, PartialEq)]

@@ -11,17 +11,47 @@ pub mod fleet;
 pub mod queue;
 
 use crate::passes::CompileError;
+use crate::persist::{self, COMPILE_SNAPSHOT_KIND};
 use crate::pipeline::{CompilationResult, Compiler, CompilerOptions};
-use qcc_hw::{Backend, CalibratedLatencyModel, ControlLimits, Device, LatencyModel};
-use qcc_ir::Circuit;
+use qcc_hw::persist::{fnv64, hex16, SnapshotWriter, SNAPSHOT_EXTENSION};
+use qcc_hw::{Backend, CalibratedLatencyModel, ControlLimits, Device, LatencyModel, PersistError};
+use qcc_ir::{ByteCursor, Circuit, DecodeError};
 use queue::{ServeConfig, ServeHandle, ServiceError, SubmitOptions};
 use std::collections::{HashMap, VecDeque};
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use threadpool::ThreadPool;
 
 /// Default capacity (in cached results) of the service's compile cache.
 pub const DEFAULT_COMPILE_CACHE_CAPACITY: usize = 64;
+
+/// Size of the SHiP signature counter table (a power of two; signatures are
+/// hashed into it). 1024 two-bit-ish counters cover far more distinct request
+/// signatures than any bounded result cache holds.
+const SHCT_SIZE: usize = 1024;
+
+/// Saturation ceiling of one signature counter.
+const SHCT_MAX: u8 = 7;
+
+/// Eviction policy of the service's compile-result cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CachePolicy {
+    /// Signature-based Hit Predictor (SHiP-style) insertion: each request
+    /// signature — the FNV-1a hash of the (backend fingerprint, circuit,
+    /// strategy, aggregation options) cache key — has a saturating reuse
+    /// counter, trained by observed outcomes (hit ⇒ increment, evicted
+    /// without reuse ⇒ decrement). New entries whose signature has never
+    /// shown reuse are inserted *at the eviction position*, so a stream of
+    /// one-shot fillers churns through a single slot instead of flushing the
+    /// hot working set; predicted-reuse entries insert at MRU as usual.
+    #[default]
+    Ship,
+    /// Plain least-recently-used insertion/eviction (every insert at MRU) —
+    /// the pre-SHiP behavior, kept for comparison benches and regression
+    /// tests.
+    PlainLru,
+}
 
 /// Summary of the service's compile-cache and request-queue activity, for
 /// telemetry and tests.
@@ -47,6 +77,15 @@ pub struct CompileCacheStats {
     pub rejected: usize,
     /// Requests cancelled mid-pipeline because their deadline lapsed.
     pub deadline_expired: usize,
+    /// Inserts whose signature predicted reuse (placed at MRU). Always zero
+    /// under [`CachePolicy::PlainLru`].
+    pub predicted_reuse: usize,
+    /// Inserts whose signature predicted no reuse (placed at the eviction
+    /// position). Always zero under [`CachePolicy::PlainLru`].
+    pub predicted_one_shot: usize,
+    /// Signature counters currently holding a positive reuse prediction —
+    /// the footprint of what the predictor has learned.
+    pub trained_signatures: usize,
 }
 
 /// Lifetime request counters of one service, shared by the synchronous entry
@@ -59,13 +98,29 @@ struct ServiceCounters {
     deadline_expired: AtomicUsize,
 }
 
-/// A bounded LRU cache of compilation results keyed by the request
-/// fingerprint (circuit byte encoding + strategy recipe + aggregation
+/// One cached result plus the metadata the SHiP predictor trains on.
+struct CacheEntry {
+    result: Arc<CompilationResult>,
+    /// SHiP signature of the request key (FNV-1a 64 of the key bytes).
+    signature: u64,
+    /// Whether the entry has been hit since insertion — the outcome bit that
+    /// trains the signature counter at eviction time.
+    referenced: bool,
+}
+
+/// A bounded cache of compilation results keyed by the request fingerprint
+/// (backend identity + circuit byte encoding + strategy recipe + aggregation
 /// options). Compilation is deterministic, so serving a cached clone is
 /// indistinguishable from recompiling — repeated batch traffic skips the
 /// whole pipeline.
+///
+/// Under the default [`CachePolicy::Ship`], eviction is reuse-predicted: see
+/// the policy docs. The recency list plus the signature counter table are
+/// both guarded by one mutex, so training and eviction decisions are
+/// race-free.
 struct CompileCache {
     capacity: usize,
+    policy: CachePolicy,
     entries: Mutex<CacheEntries>,
     hits: AtomicUsize,
     misses: AtomicUsize,
@@ -73,15 +128,38 @@ struct CompileCache {
 
 #[derive(Default)]
 struct CacheEntries {
-    map: HashMap<Vec<u8>, Arc<CompilationResult>>,
-    /// Keys in least-recently-used-first order.
+    map: HashMap<Vec<u8>, CacheEntry>,
+    /// Keys in least-recently-used-first order (front = next victim).
     lru: VecDeque<Vec<u8>>,
+    /// SHiP signature counter table, indexed by `signature % SHCT_SIZE`.
+    /// Zero-initialized: a signature predicts reuse only after at least one
+    /// observed hit.
+    shct: Vec<u8>,
+    /// Lifetime count of inserts predicted to be reused.
+    predicted_reuse: usize,
+    /// Lifetime count of inserts predicted to be one-shot.
+    predicted_one_shot: usize,
+}
+
+impl CacheEntries {
+    fn counter(&mut self, signature: u64) -> &mut u8 {
+        if self.shct.is_empty() {
+            self.shct = vec![0; SHCT_SIZE];
+        }
+        &mut self.shct[(signature as usize) % SHCT_SIZE]
+    }
+}
+
+/// The SHiP signature of a request key.
+fn ship_signature(key: &[u8]) -> u64 {
+    fnv64(key)
 }
 
 impl CompileCache {
-    fn new(capacity: usize) -> Self {
+    fn new(capacity: usize, policy: CachePolicy) -> Self {
         Self {
             capacity,
+            policy,
             entries: Mutex::new(CacheEntries::default()),
             hits: AtomicUsize::new(0),
             misses: AtomicUsize::new(0),
@@ -94,8 +172,17 @@ impl CompileCache {
 
     fn get(&self, key: &[u8]) -> Option<Arc<CompilationResult>> {
         let mut entries = self.entries.lock().expect("compile cache poisoned");
-        match entries.map.get(key).cloned() {
-            Some(result) => {
+        match entries.map.get_mut(key) {
+            Some(entry) => {
+                let result = entry.result.clone();
+                let signature = entry.signature;
+                entry.referenced = true;
+                if self.policy == CachePolicy::Ship {
+                    // Observed reuse: this signature earns a stronger
+                    // keep-prediction for its future inserts.
+                    let counter = entries.counter(signature);
+                    *counter = (*counter + 1).min(SHCT_MAX);
+                }
                 // Touch: move the key to the most-recently-used end.
                 if let Some(pos) = entries.lru.iter().position(|k| k == key) {
                     let k = entries.lru.remove(pos).expect("position just found");
@@ -113,9 +200,84 @@ impl CompileCache {
 
     fn insert(&self, key: Vec<u8>, result: Arc<CompilationResult>) {
         let mut entries = self.entries.lock().expect("compile cache poisoned");
-        if entries.map.insert(key.clone(), result).is_none() {
-            entries.lru.push_back(key);
+        let signature = ship_signature(&key);
+        if let Some(existing) = entries.map.get_mut(&key) {
+            existing.result = result;
+            return;
         }
+        match self.policy {
+            CachePolicy::Ship => {
+                // Evict *before* inserting, so the placement of the new entry
+                // (front for predicted one-shots) survives the insert — the
+                // victim is always the current front, and an unreferenced
+                // victim votes its signature down.
+                while entries.map.len() >= self.capacity {
+                    let Some(victim_key) = entries.lru.pop_front() else {
+                        break;
+                    };
+                    if let Some(victim) = entries.map.remove(&victim_key) {
+                        if !victim.referenced {
+                            let counter = entries.counter(victim.signature);
+                            *counter = counter.saturating_sub(1);
+                        }
+                    }
+                }
+                let predicted_reuse = *entries.counter(signature) > 0;
+                if predicted_reuse {
+                    entries.predicted_reuse += 1;
+                    entries.lru.push_back(key.clone());
+                } else {
+                    entries.predicted_one_shot += 1;
+                    entries.lru.push_front(key.clone());
+                }
+                entries.map.insert(
+                    key,
+                    CacheEntry {
+                        result,
+                        signature,
+                        referenced: false,
+                    },
+                );
+            }
+            CachePolicy::PlainLru => {
+                entries.lru.push_back(key.clone());
+                entries.map.insert(
+                    key,
+                    CacheEntry {
+                        result,
+                        signature,
+                        referenced: false,
+                    },
+                );
+                while entries.map.len() > self.capacity {
+                    let Some(oldest) = entries.lru.pop_front() else {
+                        break;
+                    };
+                    entries.map.remove(&oldest);
+                }
+            }
+        }
+    }
+
+    /// Seeds one entry from a snapshot: placed at MRU in load order, outcome
+    /// bit clear, no predictor training and no hit/miss accounting. Loading
+    /// respects the capacity bound by evicting silently (callers feed
+    /// most-recent-last, so the survivors are the most recent entries).
+    fn seed(&self, key: Vec<u8>, result: Arc<CompilationResult>) {
+        let mut entries = self.entries.lock().expect("compile cache poisoned");
+        let signature = ship_signature(&key);
+        if entries.map.contains_key(&key) {
+            return;
+        }
+        entries.lru.push_back(key.clone());
+        entries.map.insert(
+            key,
+            CacheEntry {
+                result,
+                signature,
+                referenced: false,
+            },
+        );
         while entries.map.len() > self.capacity {
             let Some(oldest) = entries.lru.pop_front() else {
                 break;
@@ -124,16 +286,27 @@ impl CompileCache {
         }
     }
 
+    /// Every cached (key, result) pair in least-recently-used-first order —
+    /// the order snapshots are written in, so a warm start (which seeds in
+    /// file order) reproduces the recency order.
+    fn entries_lru_first(&self) -> Vec<(Vec<u8>, Arc<CompilationResult>)> {
+        let entries = self.entries.lock().expect("compile cache poisoned");
+        entries
+            .lru
+            .iter()
+            .filter_map(|k| entries.map.get(k).map(|e| (k.clone(), e.result.clone())))
+            .collect()
+    }
+
     fn stats(&self) -> CompileCacheStats {
+        let entries = self.entries.lock().expect("compile cache poisoned");
         CompileCacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
-            entries: self
-                .entries
-                .lock()
-                .expect("compile cache poisoned")
-                .map
-                .len(),
+            entries: entries.map.len(),
+            predicted_reuse: entries.predicted_reuse,
+            predicted_one_shot: entries.predicted_one_shot,
+            trained_signatures: entries.shct.iter().filter(|&&c| c > 0).count(),
             ..CompileCacheStats::default()
         }
     }
@@ -235,7 +408,7 @@ impl<'d> CompileService<'d> {
             device,
             model,
             pool: ThreadPool::with_default_parallelism(),
-            cache: CompileCache::new(DEFAULT_COMPILE_CACHE_CAPACITY),
+            cache: CompileCache::new(DEFAULT_COMPILE_CACHE_CAPACITY, CachePolicy::default()),
             counters: ServiceCounters::default(),
             fingerprint,
         }
@@ -253,7 +426,7 @@ impl<'d> CompileService<'d> {
             // shared model instance.
             model: Box::new(backend.model()),
             pool: ThreadPool::with_default_parallelism(),
-            cache: CompileCache::new(DEFAULT_COMPILE_CACHE_CAPACITY),
+            cache: CompileCache::new(DEFAULT_COMPILE_CACHE_CAPACITY, CachePolicy::default()),
             counters: ServiceCounters::default(),
             fingerprint: backend.fingerprint().to_vec(),
         }
@@ -273,10 +446,155 @@ impl<'d> CompileService<'d> {
     }
 
     /// Sets the compile-cache capacity in cached results (`0` disables
-    /// result caching entirely), discarding anything cached so far.
+    /// result caching entirely), discarding anything cached so far. Keeps
+    /// the current eviction policy.
     pub fn with_compile_cache(mut self, capacity: usize) -> Self {
-        self.cache = CompileCache::new(capacity);
+        self.cache = CompileCache::new(capacity, self.cache.policy);
         self
+    }
+
+    /// Sets both the compile-cache capacity and its eviction policy (see
+    /// [`CachePolicy`]), discarding anything cached so far. The default is
+    /// [`CachePolicy::Ship`]; [`CachePolicy::PlainLru`] exists for
+    /// comparison benches and regression tests.
+    pub fn with_compile_cache_policy(mut self, capacity: usize, policy: CachePolicy) -> Self {
+        self.cache = CompileCache::new(capacity, policy);
+        self
+    }
+
+    /// The compile cache's eviction policy.
+    pub fn cache_policy(&self) -> CachePolicy {
+        self.cache.policy
+    }
+
+    /// The fingerprint namespace of this service's persistent result cache:
+    /// the compile-key fingerprint (backend identity) extended with the
+    /// latency model's own solver fingerprint when it has a persistent cache.
+    /// The extension matters: two services can share a device and model
+    /// *name* (hence identical compile-cache key prefixes) while running
+    /// differently-configured solvers — their result snapshots must not
+    /// interchange.
+    fn persist_namespace(&self) -> Vec<u8> {
+        let mut namespace = self.fingerprint.clone();
+        if let Some(pc) = self.model.persistent_cache() {
+            namespace.extend_from_slice(&pc.snapshot_fingerprint());
+        }
+        namespace
+    }
+
+    /// File name of one cache's snapshot inside a snapshot directory:
+    /// `<kind>-<hex16(fnv64(namespace))>.qccsnap`. The hash keeps distinct
+    /// backends (and distinct solver configurations) in distinct files, so a
+    /// fleet can share one directory.
+    fn snapshot_file(dir: &Path, kind: &str, namespace: &[u8]) -> PathBuf {
+        dir.join(format!(
+            "{kind}-{}.{SNAPSHOT_EXTENSION}",
+            hex16(fnv64(namespace))
+        ))
+    }
+
+    /// Path of this service's compile-result snapshot inside `dir`.
+    pub fn result_snapshot_path(&self, dir: &Path) -> PathBuf {
+        Self::snapshot_file(dir, COMPILE_SNAPSHOT_KIND, &self.persist_namespace())
+    }
+
+    /// Path of the latency model's solve-cache snapshot inside `dir`, when
+    /// the model has a persistent cache.
+    pub fn model_snapshot_path(&self, dir: &Path) -> Option<PathBuf> {
+        self.model
+            .persistent_cache()
+            .map(|pc| Self::snapshot_file(dir, pc.snapshot_kind(), &pc.snapshot_fingerprint()))
+    }
+
+    /// Snapshots this service's persistent caches into `dir` (one file per
+    /// cache, atomic write-temp-then-rename): the latency model's solve cache
+    /// when the model has one, and the compile-result cache. Returns the
+    /// total number of records written. Cached compile *errors* are never
+    /// stored (only successful results are cached), and in-flight model
+    /// solves are skipped.
+    pub fn snapshot_to(&self, dir: &Path) -> Result<usize, PersistError> {
+        let mut written = 0;
+        if let (Some(pc), Some(path)) =
+            (self.model.persistent_cache(), self.model_snapshot_path(dir))
+        {
+            written += pc.snapshot_to(&path)?;
+        }
+        let namespace = self.persist_namespace();
+        let mut writer = SnapshotWriter::new(COMPILE_SNAPSHOT_KIND, &namespace);
+        for (key, result) in self.cache.entries_lru_first() {
+            let mut payload = Vec::with_capacity(key.len() + 256);
+            payload.extend_from_slice(&(key.len() as u64).to_le_bytes());
+            payload.extend_from_slice(&key);
+            persist::encode_result(&result, &mut payload);
+            writer.record(&payload);
+        }
+        written += writer.len();
+        persist::write_atomic(&self.result_snapshot_path(dir), &writer.finish())?;
+        Ok(written)
+    }
+
+    /// Warm-starts this service's caches from snapshots in `dir`, strictly:
+    /// present-but-bad files (corrupt, truncated, foreign format version,
+    /// or written under a different backend/calibration fingerprint) are
+    /// rejected with a [`PersistError`] naming the mismatch. *Missing* files
+    /// are not an error — they are an ordinary cold start and contribute
+    /// zero records. Returns the number of records loaded. Loaded results
+    /// are bit-identical to what the writing process computed (the codec
+    /// round-trips floats by bit pattern), and loading performs no solves
+    /// and no predictor training.
+    pub fn warm_start_from(&self, dir: &Path) -> Result<usize, PersistError> {
+        let mut loaded = 0;
+        if let (Some(pc), Some(path)) =
+            (self.model.persistent_cache(), self.model_snapshot_path(dir))
+        {
+            if path.exists() {
+                loaded += pc.warm_start_from(&path)?;
+            }
+        }
+        let result_path = self.result_snapshot_path(dir);
+        if result_path.exists() {
+            let namespace = self.persist_namespace();
+            let records = persist::load_records(&result_path, COMPILE_SNAPSHOT_KIND, &namespace)?;
+            // Decode everything before seeding anything: a load is
+            // all-or-nothing.
+            let mut entries = Vec::with_capacity(records.len());
+            for payload in &records {
+                let mut cur = ByteCursor::new(payload);
+                let key_len = cur
+                    .len("compile record key length")
+                    .map_err(|detail| PersistError::Malformed { detail })?;
+                let key = cur
+                    .bytes(key_len, "compile record key")
+                    .map_err(|detail| PersistError::Malformed { detail })?
+                    .to_vec();
+                let result = persist::decode_result(&mut cur)
+                    .map_err(|detail| PersistError::Malformed { detail })?;
+                if !cur.is_empty() {
+                    return Err(PersistError::Malformed {
+                        detail: DecodeError {
+                            what: "compile record (trailing bytes)",
+                            offset: cur.offset(),
+                        },
+                    });
+                }
+                entries.push((key, result));
+            }
+            if self.cache.enabled() {
+                for (key, result) in entries {
+                    self.cache.seed(key, Arc::new(result));
+                    loaded += 1;
+                }
+            }
+        }
+        Ok(loaded)
+    }
+
+    /// Boot-path warm start: like [`warm_start_from`](Self::warm_start_from)
+    /// but degrading every failure — bad files included — to a cold start,
+    /// never a panic and never a wrong result. Returns the number of records
+    /// loaded (zero on any rejection).
+    pub fn warm_start_or_cold(&self, dir: &Path) -> usize {
+        self.warm_start_from(dir).unwrap_or(0)
     }
 
     /// Hit/miss/entry counts of the compile cache, plus the service's
@@ -578,8 +896,14 @@ mod tests {
     #[test]
     fn compile_cache_capacity_bounds_entries_and_zero_disables() {
         let device = Device::transmon_line(3);
-        let service = CompileService::new(&device).with_compile_cache(2);
-        for n in [1usize, 2, 3, 1] {
+        // Pin both policies on the same request stream [k1, k2, k3, k1] at
+        // capacity 2 — the divergence is exactly the SHiP win.
+        //
+        // PlainLru (the pre-SHiP behavior): every insert at MRU, so k3
+        // evicts k1 and the final k1 misses again.
+        let service =
+            CompileService::new(&device).with_compile_cache_policy(2, CachePolicy::PlainLru);
+        let compile_n = |service: &CompileService, n: usize| {
             let mut c = Circuit::new(3);
             for q in 0..n {
                 c.push(Gate::H, &[q]);
@@ -587,13 +911,31 @@ mod tests {
             service
                 .compile(&c, &CompilerOptions::strategy(Strategy::IsaBaseline))
                 .unwrap();
+        };
+        for n in [1usize, 2, 3, 1] {
+            compile_n(&service, n);
         }
-        // Three distinct requests through capacity 2: the first was evicted,
-        // so its re-compile missed again.
         let stats = service.compile_cache_stats();
         assert_eq!(stats.entries, 2);
         assert_eq!(stats.hits, 0);
         assert_eq!(stats.misses, 4);
+        assert_eq!((stats.predicted_reuse, stats.predicted_one_shot), (0, 0));
+
+        // Ship (the default): untrained signatures insert at the eviction
+        // position, so k3 churns through the front slot — k2 is the victim
+        // and the final k1 request hits.
+        let service = CompileService::new(&device).with_compile_cache(2);
+        assert_eq!(service.cache_policy(), CachePolicy::Ship);
+        for n in [1usize, 2, 3, 1] {
+            compile_n(&service, n);
+        }
+        let stats = service.compile_cache_stats();
+        assert_eq!(stats.entries, 2);
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.misses, 3);
+        assert_eq!(stats.predicted_one_shot, 3);
+        // The k1 hit trained its signature.
+        assert_eq!(stats.trained_signatures, 1);
 
         let disabled = CompileService::new(&device).with_compile_cache(0);
         disabled

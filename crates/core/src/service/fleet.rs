@@ -335,6 +335,30 @@ impl<'b> Fleet<'b> {
         self.lanes.iter().map(|l| l.backend.label()).collect()
     }
 
+    /// Warm-starts every lane's caches from snapshots in `dir` at boot,
+    /// degrading per-lane failures to a cold start for that lane (see
+    /// [`CompileService::warm_start_or_cold`]). Lanes never alias: each
+    /// lane's snapshot files are named and namespaced by its backend
+    /// fingerprint, so one shared directory serves the whole fleet. Returns
+    /// the total number of records loaded across lanes.
+    pub fn warm_start_or_cold(&self, dir: &std::path::Path) -> usize {
+        self.lanes
+            .iter()
+            .map(|lane| lane.service.warm_start_or_cold(dir))
+            .sum()
+    }
+
+    /// Snapshots every lane's caches into `dir` (one pair of files per lane,
+    /// atomic; see [`CompileService::snapshot_to`]). Returns the total number
+    /// of records written.
+    pub fn snapshot_to(&self, dir: &std::path::Path) -> Result<usize, qcc_hw::PersistError> {
+        let mut written = 0;
+        for lane in &self.lanes {
+            written += lane.service.snapshot_to(dir)?;
+        }
+        Ok(written)
+    }
+
     /// Submits a request with default options (interactive priority, routed
     /// by the cost model) and returns its claim ticket.
     pub fn submit(&mut self, circuit: &Circuit, options: &CompilerOptions) -> FleetTicket {

@@ -129,6 +129,13 @@ impl Backend {
     /// (topology, interaction, control limits), and model name. Cache layers
     /// prefix their keys with this so one process can serve a whole fleet
     /// without cross-backend collisions.
+    ///
+    /// Since the persistent cache tier, this encoding is also the namespace
+    /// stamped into on-disk snapshots (`qcc_hw::persist`), so it must be
+    /// **stable across builds**: any byte change silently invalidates every
+    /// existing snapshot. The golden test `fingerprint_encoding_is_stable`
+    /// pins the current encoding — if it fails, either revert the encoding
+    /// change or bump `persist::FORMAT_VERSION` deliberately.
     pub fn fingerprint(&self) -> &[u8] {
         &self.fingerprint
     }
@@ -187,6 +194,21 @@ mod tests {
         // Label length-prefixing: "ab"+rest cannot alias "a"+(b'b'-led rest).
         let ab = Backend::calibrated("ab", Device::transmon_line(4));
         assert_ne!(line.fingerprint(), ab.fingerprint());
+    }
+
+    #[test]
+    fn fingerprint_encoding_is_stable() {
+        // Golden value: FNV-1a 64 of a reference backend's fingerprint bytes.
+        // Snapshots written by older builds are keyed on this encoding, so a
+        // change here is a persistence-format break (see `fingerprint` docs).
+        let b = Backend::calibrated("golden", Device::transmon_line(3));
+        let hash = crate::persist::fnv64(b.fingerprint());
+        assert_eq!(
+            crate::persist::hex16(hash),
+            "dd5e124dcb073759",
+            "backend fingerprint encoding changed — this invalidates every \
+             existing snapshot; revert or bump persist::FORMAT_VERSION"
+        );
     }
 
     #[test]

@@ -100,6 +100,15 @@ pub trait LatencyModel: Send + Sync {
         None
     }
 
+    /// The model's persistent cache tier, if it has one (e.g. the GRAPE
+    /// model's solve cache). Front doors use this to snapshot/warm-start a
+    /// model's expensive state across restarts without knowing its concrete
+    /// type. Analytic models have nothing worth persisting and keep the
+    /// default `None`.
+    fn persistent_cache(&self) -> Option<&dyn crate::persist::PersistentCache> {
+        None
+    }
+
     /// Human-readable name for reports.
     fn name(&self) -> &'static str;
 }
@@ -128,6 +137,10 @@ impl<M: LatencyModel + ?Sized> LatencyModel for &M {
 
     fn pricing_stats(&self) -> Option<PricingStats> {
         (**self).pricing_stats()
+    }
+
+    fn persistent_cache(&self) -> Option<&dyn crate::persist::PersistentCache> {
+        (**self).persistent_cache()
     }
 
     fn name(&self) -> &'static str {

@@ -24,6 +24,7 @@
 pub mod backend;
 pub mod device;
 pub mod latency;
+pub mod persist;
 pub mod topology;
 
 pub use backend::Backend;
@@ -31,4 +32,5 @@ pub use device::{ControlLimits, Device, InteractionType};
 pub use latency::{
     interaction_area, CalibratedLatencyModel, GateTimeTable, LatencyModel, PricingStats,
 };
+pub use persist::{PersistError, PersistentCache};
 pub use topology::Topology;

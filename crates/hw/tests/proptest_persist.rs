@@ -1,0 +1,115 @@
+//! Property tests for the snapshot container format (`qcc_hw::persist`):
+//! arbitrary records round-trip bit-identically, and any single-byte
+//! corruption or truncation of a snapshot is detected and rejected — never
+//! misread as different-but-valid data.
+
+use proptest::prelude::*;
+use qcc_hw::persist::{parse, PersistError, SnapshotWriter};
+
+/// Arbitrary record payloads: varied lengths including empty, full byte range.
+fn arb_records() -> impl Strategy<Value = Vec<Vec<u8>>> {
+    prop::collection::vec(prop::collection::vec(0u8..=255, 0..40), 0..8)
+}
+
+fn arb_fingerprint() -> impl Strategy<Value = Vec<u8>> {
+    prop::collection::vec(0u8..=255, 0..24)
+}
+
+fn snapshot(kind: &str, fingerprint: &[u8], records: &[Vec<u8>]) -> Vec<u8> {
+    let mut w = SnapshotWriter::new(kind, fingerprint);
+    for r in records {
+        w.record(r);
+    }
+    w.finish()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Whatever goes in comes back out, bit-identically, in order.
+    #[test]
+    fn records_round_trip_bit_identically(
+        records in arb_records(),
+        fp in arb_fingerprint(),
+    ) {
+        let bytes = snapshot("prop-cache", &fp, &records);
+        let back = parse(&bytes, "prop-cache", &fp).expect("round trip");
+        prop_assert_eq!(back, records);
+    }
+
+    /// Flipping any single byte anywhere in the file makes the parse fail —
+    /// the header checksum guards the preamble, per-record checksums guard
+    /// payloads, and length/count fields that dodge a checksum still derail
+    /// the framing into truncation or trailing-byte errors.
+    #[test]
+    fn any_single_byte_corruption_is_rejected(
+        records in arb_records(),
+        fp in arb_fingerprint(),
+        position in 0usize..4096,
+        flip in 1u8..=255,
+    ) {
+        let bytes = snapshot("prop-cache", &fp, &records);
+        let i = position % bytes.len();
+        let mut corrupt = bytes.clone();
+        corrupt[i] ^= flip;
+        prop_assert!(
+            parse(&corrupt, "prop-cache", &fp).is_err(),
+            "flipped byte {} (xor {:#04x}) parsed as valid", i, flip
+        );
+    }
+
+    /// Every strict prefix of a snapshot is rejected as truncated (or
+    /// otherwise malformed) — a torn write can never load.
+    #[test]
+    fn any_truncation_is_rejected(
+        records in arb_records(),
+        fp in arb_fingerprint(),
+        cut_sel in 0usize..4096,
+    ) {
+        let bytes = snapshot("prop-cache", &fp, &records);
+        let cut = cut_sel % bytes.len();
+        prop_assert!(
+            parse(&bytes[..cut], "prop-cache", &fp).is_err(),
+            "prefix of length {} parsed as valid", cut
+        );
+    }
+
+    /// Appended garbage is rejected as trailing bytes.
+    #[test]
+    fn appended_bytes_are_rejected(
+        records in arb_records(),
+        extra in prop::collection::vec(0u8..=255, 1..16),
+    ) {
+        let mut bytes = snapshot("prop-cache", b"fp", &records);
+        bytes.extend_from_slice(&extra);
+        let extra_len = extra.len();
+        match parse(&bytes, "prop-cache", b"fp") {
+            Err(PersistError::TrailingBytes { extra }) => {
+                prop_assert_eq!(extra, extra_len);
+            }
+            Err(_) => {} // framing may also read garbage as a short record
+            Ok(_) => prop_assert!(false, "garbage-extended snapshot parsed"),
+        }
+    }
+
+    /// A snapshot loads only under its own fingerprint: any differing
+    /// fingerprint is named as a mismatch.
+    #[test]
+    fn foreign_fingerprints_are_rejected(
+        records in arb_records(),
+        fp_a in arb_fingerprint(),
+        fp_b in arb_fingerprint(),
+    ) {
+        if fp_a == fp_b {
+            return Ok(());
+        }
+        let bytes = snapshot("prop-cache", &fp_a, &records);
+        match parse(&bytes, "prop-cache", &fp_b) {
+            Err(PersistError::FingerprintMismatch { expected, found }) => {
+                prop_assert_eq!(expected, fp_b);
+                prop_assert_eq!(found, fp_a);
+            }
+            other => prop_assert!(false, "expected FingerprintMismatch, got {:?}", other.is_ok()),
+        }
+    }
+}

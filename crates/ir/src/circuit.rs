@@ -1,5 +1,6 @@
 //! Quantum circuits: ordered lists of gate instructions on named qubits.
 
+use crate::bytes::{ByteCursor, DecodeError};
 use crate::gate::Gate;
 use qcc_math::CMatrix;
 use serde::{Deserialize, Serialize};
@@ -78,6 +79,41 @@ impl Instruction {
         for &q in &self.qubits {
             out.extend_from_slice(&(q as u64).to_le_bytes());
         }
+    }
+
+    /// Decodes one instruction from a byte stream written by
+    /// [`encode_into`](Self::encode_into) — the exact inverse. The arity and
+    /// duplicate-qubit invariants enforced (by panic) in
+    /// [`Instruction::new`] are re-checked here as [`DecodeError`]s, so a
+    /// corrupted snapshot degrades to a failed load, never a crash or an
+    /// ill-formed instruction.
+    pub fn decode_from(cursor: &mut ByteCursor<'_>) -> Result<Self, DecodeError> {
+        let gate = Gate::decode_from(cursor)?;
+        let count_offset = cursor.offset();
+        let count = cursor.u8("instruction qubit count")? as usize;
+        if count != gate.arity() {
+            return Err(DecodeError {
+                what: "instruction qubit count (arity mismatch)",
+                offset: count_offset,
+            });
+        }
+        let mut qubits = Vec::with_capacity(count);
+        for _ in 0..count {
+            let q_offset = cursor.offset();
+            let q = cursor.u64("instruction qubit index")?;
+            let q = usize::try_from(q).map_err(|_| DecodeError {
+                what: "instruction qubit index (out of range)",
+                offset: q_offset,
+            })?;
+            if qubits.contains(&q) {
+                return Err(DecodeError {
+                    what: "instruction qubit index (duplicate)",
+                    offset: q_offset,
+                });
+            }
+            qubits.push(q);
+        }
+        Ok(Self { gate, qubits })
     }
 }
 
@@ -385,6 +421,71 @@ mod tests {
         );
         // Identical sequences encode identically.
         assert_eq!(encode(&xh), encode(&xh));
+    }
+
+    #[test]
+    fn instruction_decoding_inverts_encoding() {
+        let all = [
+            Instruction::new(Gate::I, vec![3]),
+            Instruction::new(Gate::X, vec![0]),
+            Instruction::new(Gate::Y, vec![1]),
+            Instruction::new(Gate::Z, vec![2]),
+            Instruction::new(Gate::H, vec![0]),
+            Instruction::new(Gate::S, vec![4]),
+            Instruction::new(Gate::Sdg, vec![5]),
+            Instruction::new(Gate::T, vec![6]),
+            Instruction::new(Gate::Tdg, vec![7]),
+            Instruction::new(Gate::Rx(0.25), vec![0]),
+            Instruction::new(Gate::Ry(-1.5), vec![1]),
+            Instruction::new(Gate::Rz(1e-300), vec![2]),
+            Instruction::new(Gate::Phase(-0.0), vec![3]),
+            Instruction::new(Gate::Cnot, vec![0, 1]),
+            Instruction::new(Gate::Cz, vec![2, 3]),
+            Instruction::new(Gate::CPhase(0.125), vec![1, 0]),
+            Instruction::new(Gate::Swap, vec![4, 2]),
+            Instruction::new(Gate::ISwap, vec![0, 5]),
+            Instruction::new(Gate::SqrtISwap, vec![6, 1]),
+            Instruction::new(Gate::Rzz(2.5), vec![3, 0]),
+            Instruction::new(Gate::Rxy(-0.75), vec![0, 2]),
+            Instruction::new(Gate::Toffoli, vec![0, 1, 2]),
+            Instruction::new(Gate::Fredkin, vec![2, 1, 0]),
+        ];
+        let mut buf = Vec::new();
+        for inst in &all {
+            inst.encode_into(&mut buf);
+        }
+        let mut cur = ByteCursor::new(&buf);
+        for inst in &all {
+            let decoded = Instruction::decode_from(&mut cur).expect("round trip");
+            assert_eq!(&decoded, inst);
+        }
+        assert!(cur.is_empty());
+    }
+
+    #[test]
+    fn instruction_decoding_rejects_malformed_streams() {
+        // Unknown gate tag.
+        let mut cur = ByteCursor::new(&[0xff]);
+        assert!(Instruction::decode_from(&mut cur).is_err());
+        // Arity mismatch: CNOT (tag 13) claiming one operand.
+        let mut buf = vec![13u8, 1];
+        buf.extend_from_slice(&0u64.to_le_bytes());
+        let mut cur = ByteCursor::new(&buf);
+        assert!(Instruction::decode_from(&mut cur).is_err());
+        // Duplicate operand: CNOT on (q1, q1).
+        let mut buf = vec![13u8, 2];
+        buf.extend_from_slice(&1u64.to_le_bytes());
+        buf.extend_from_slice(&1u64.to_le_bytes());
+        let mut cur = ByteCursor::new(&buf);
+        let err = Instruction::decode_from(&mut cur).unwrap_err();
+        assert!(err.to_string().contains("duplicate"));
+        // Every strict prefix of a valid encoding is rejected.
+        let mut full = Vec::new();
+        Instruction::new(Gate::Rzz(0.5), vec![0, 3]).encode_into(&mut full);
+        for cut in 0..full.len() {
+            let mut cur = ByteCursor::new(&full[..cut]);
+            assert!(Instruction::decode_from(&mut cur).is_err(), "prefix {cut}");
+        }
     }
 
     #[test]

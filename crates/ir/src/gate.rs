@@ -5,6 +5,7 @@
 //! two- and three-qubit gates, each with an exact unitary matrix. The compiler
 //! front-end flattens everything down to 1- and 2-qubit gates before analysis.
 
+use crate::bytes::{ByteCursor, DecodeError};
 use qcc_math::{pauli, CMatrix, C64};
 use serde::{Deserialize, Serialize};
 use std::f64::consts::{FRAC_PI_2, FRAC_PI_4, PI};
@@ -182,11 +183,59 @@ impl Gate {
     /// differ in any bit therefore never collide — unlike a fixed-precision
     /// textual rendering — and the encoding is cheaper to build than any
     /// `format!`-based key.
+    ///
+    /// The tag assignment is part of the workspace's **persistent** snapshot
+    /// format (cache keys only ever lived in memory; snapshots survive
+    /// restarts): existing tags must never be renumbered — new gates append
+    /// new tags — and [`decode_from`](Self::decode_from) must stay its exact
+    /// inverse.
     pub fn encode_into(&self, out: &mut Vec<u8>) {
         out.push(self.variant_tag());
         if let Some(t) = self.parameter() {
             out.extend_from_slice(&t.to_bits().to_le_bytes());
         }
+    }
+
+    /// Decodes one gate from a byte stream written by
+    /// [`encode_into`](Self::encode_into) — the exact inverse, bit-for-bit on
+    /// rotation parameters. Unknown variant tags (a snapshot from a newer
+    /// format) and truncated parameters are reported as [`DecodeError`]s.
+    pub fn decode_from(cursor: &mut ByteCursor<'_>) -> Result<Self, DecodeError> {
+        use Gate::*;
+        let start = cursor.offset();
+        let tag = cursor.u8("gate variant tag")?;
+        let gate = match tag {
+            0 => I,
+            1 => X,
+            2 => Y,
+            3 => Z,
+            4 => H,
+            5 => S,
+            6 => Sdg,
+            7 => T,
+            8 => Tdg,
+            9 => Rx(cursor.f64("rx angle")?),
+            10 => Ry(cursor.f64("ry angle")?),
+            11 => Rz(cursor.f64("rz angle")?),
+            12 => Phase(cursor.f64("phase angle")?),
+            13 => Cnot,
+            14 => Cz,
+            15 => CPhase(cursor.f64("cphase angle")?),
+            16 => Swap,
+            17 => ISwap,
+            18 => SqrtISwap,
+            19 => Rzz(cursor.f64("rzz angle")?),
+            20 => Rxy(cursor.f64("rxy angle")?),
+            21 => Toffoli,
+            22 => Fredkin,
+            _ => {
+                return Err(DecodeError {
+                    what: "gate variant tag",
+                    offset: start,
+                })
+            }
+        };
+        Ok(gate)
     }
 
     /// Exact unitary matrix of the gate (dimension `2^arity`).

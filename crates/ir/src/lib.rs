@@ -26,6 +26,7 @@
 
 #![warn(missing_docs)]
 
+pub mod bytes;
 pub mod circuit;
 pub mod commute;
 pub mod decompose;
@@ -33,6 +34,7 @@ pub mod gate;
 pub mod pauli_rotation;
 pub mod qasm;
 
+pub use bytes::{ByteCursor, DecodeError};
 pub use circuit::{Circuit, Instruction};
 pub use commute::{commute as gates_commute, commute_exact, commute_structural};
 pub use gate::{AxisAction, Gate};

@@ -91,6 +91,17 @@ fn main() {
     // service borrows the model, so its counters stay readable out here.
     let grape = GrapeLatencyModel::fast_two_qubit();
     let grape_service = CompileService::with_model(&device, Box::new(&grape));
+    // Persistent cache tier: when QCC_CACHE_DIR names a directory, warm-start
+    // the GRAPE and result caches from it before compiling and snapshot them
+    // back afterwards — a second run of this example then re-solves nothing.
+    let cache_dir = qcc::compiler::cache_dir_from_env();
+    if let Some(dir) = &cache_dir {
+        let loaded = grape_service.warm_start_or_cold(dir);
+        println!(
+            "\nWarm start from {}: {loaded} cached records",
+            dir.display()
+        );
+    }
     let grape_result = grape_service
         .compile(
             &circuit,
@@ -114,6 +125,13 @@ fn main() {
             "  {:<24} {:>4} instrs  {:>9.1?}  {pricing}",
             report.pass, report.instructions, report.wall_time
         );
+    }
+    println!("GRAPE solves this run: {}", grape.solve_count());
+    if let Some(dir) = &cache_dir {
+        let written = grape_service
+            .snapshot_to(dir)
+            .expect("QCC_CACHE_DIR is writable");
+        println!("Snapshot: {written} records -> {}", dir.display());
     }
 
     // Verify that the full flow preserved the circuit semantics.

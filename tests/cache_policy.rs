@@ -1,0 +1,77 @@
+//! Replay regression for the SHiP-style compile cache: a working set of hot
+//! recipes interleaved with streams of one-shot fillers. The reuse predictor
+//! must keep the hot set resident — where a plain LRU demonstrably thrashes
+//! and serves zero hits on the identical request stream.
+
+use qcc::compiler::{CachePolicy, CompileService, CompilerOptions, Strategy};
+use qcc::hw::Device;
+use qcc::ir::{Circuit, Gate};
+
+const CAPACITY: usize = 4;
+const HOT: usize = 4;
+const FILLERS_PER_ROUND: usize = 6;
+const ROUNDS: usize = 4;
+
+/// A tiny circuit whose request key is unique per `tag` (distinct Rz angle).
+fn keyed_circuit(tag: usize) -> Circuit {
+    let mut c = Circuit::new(2);
+    c.push(Gate::H, &[0]);
+    c.push(Gate::Cnot, &[0, 1]);
+    c.push(Gate::Rz(0.001 + tag as f64 * 1.0e-6), &[1]);
+    c
+}
+
+/// Replays `ROUNDS` rounds of (hot set, then fresh one-shot fillers) against
+/// a service with the given eviction policy; returns (hits, misses).
+fn replay(policy: CachePolicy) -> (usize, usize) {
+    let device = Device::transmon_line(2);
+    let service = CompileService::new(&device)
+        .with_threads(1)
+        .with_compile_cache_policy(CAPACITY, policy);
+    let options = CompilerOptions::strategy(Strategy::IsaBaseline);
+    let mut filler_tag = 1_000;
+    for _ in 0..ROUNDS {
+        for hot in 0..HOT {
+            service.compile(&keyed_circuit(hot), &options).unwrap();
+        }
+        for _ in 0..FILLERS_PER_ROUND {
+            service
+                .compile(&keyed_circuit(filler_tag), &options)
+                .unwrap();
+            filler_tag += 1;
+        }
+    }
+    let stats = service.compile_cache_stats();
+    if policy == CachePolicy::Ship {
+        // The predictor actually trained on the hot signatures and actually
+        // flagged the filler stream as one-shot.
+        assert!(stats.trained_signatures >= HOT - 1, "{stats:?}");
+        assert!(stats.predicted_one_shot > 0, "{stats:?}");
+    }
+    (stats.hits, stats.misses)
+}
+
+#[test]
+fn ship_keeps_hot_recipes_resident_where_plain_lru_thrashes() {
+    let (lru_hits, lru_misses) = replay(CachePolicy::PlainLru);
+    let (ship_hits, ship_misses) = replay(CachePolicy::Ship);
+
+    // Plain LRU: every round the six fillers sweep the four-entry cache, so
+    // the hot set is gone before it comes back around. Zero hits, ever.
+    assert_eq!(lru_hits, 0);
+    assert_eq!(
+        lru_misses,
+        ROUNDS * (HOT + FILLERS_PER_ROUND),
+        "every request misses under plain LRU"
+    );
+
+    // SHiP: one-shot-predicted fillers enter at the eviction end and churn
+    // each other, so from round two on the trained hot recipes hit.
+    let expected_ship_hits = (ROUNDS - 1) * (HOT - 1);
+    assert_eq!(ship_hits, expected_ship_hits);
+    assert!(ship_hits + ship_misses == lru_hits + lru_misses);
+    assert!(
+        ship_hits > lru_hits,
+        "SHiP ({ship_hits} hits) must beat plain LRU ({lru_hits} hits)"
+    );
+}
