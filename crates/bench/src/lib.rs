@@ -14,7 +14,8 @@
 //! wall-clock timings as machine-readable JSON ([`write_bench_json`]) — the
 //! artifact CI uploads to track the performance trajectory. Set
 //! `QCC_FLEET=<n>` to size the backend fleet in the fleet-routing experiment
-//! ([`fleet_size_from_env`]).
+//! ([`fleet_size_from_env`]), and `QCC_PARTITIONS=<k>` to pick the region
+//! count of the partitioned-compilation lanes ([`partitions_from_env`]).
 
 #![warn(missing_docs)]
 
@@ -109,6 +110,40 @@ pub fn fleet_size_from(value: Option<&str>, default: usize) -> Result<usize, Str
             "invalid QCC_FLEET value '{raw}': fleet size must be at least 1"
         )),
         Err(e) => Err(format!("invalid QCC_FLEET value '{raw}': {e}")),
+    }
+}
+
+/// Region count selected by the `QCC_PARTITIONS` environment variable (the
+/// `k` the partitioned-compilation bench lanes cut each circuit into). Unset
+/// or empty: `default`.
+///
+/// # Panics
+///
+/// Panics with a message naming the offending value when the variable is set
+/// to anything but a positive integer — a typo'd region count must be a loud
+/// startup error, not a silently unpartitioned run.
+pub fn partitions_from_env(default: usize) -> usize {
+    partitions_from(std::env::var("QCC_PARTITIONS").ok().as_deref(), default)
+        .unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Pure parsing unit behind [`partitions_from_env`]: `None` or an
+/// empty/whitespace value selects `default`; otherwise the value must parse
+/// as an integer ≥ 1, and the error names the offending value.
+pub fn partitions_from(value: Option<&str>, default: usize) -> Result<usize, String> {
+    let Some(raw) = value else {
+        return Ok(default);
+    };
+    let trimmed = raw.trim();
+    if trimmed.is_empty() {
+        return Ok(default);
+    }
+    match trimmed.parse::<usize>() {
+        Ok(n) if n >= 1 => Ok(n),
+        Ok(_) => Err(format!(
+            "invalid QCC_PARTITIONS value '{raw}': region count must be at least 1"
+        )),
+        Err(e) => Err(format!("invalid QCC_PARTITIONS value '{raw}': {e}")),
     }
 }
 
@@ -375,6 +410,20 @@ mod tests {
         for bad in ["0", "-1", "two", "3.5", "1e2"] {
             let err = fleet_size_from(Some(bad), 3).unwrap_err();
             assert!(err.contains("QCC_FLEET"), "{err}");
+            assert!(err.contains(bad), "error must name the value: {err}");
+        }
+    }
+
+    #[test]
+    fn partitions_env_parsing_selects_and_rejects() {
+        assert_eq!(partitions_from(None, 2), Ok(2));
+        assert_eq!(partitions_from(Some(""), 2), Ok(2));
+        assert_eq!(partitions_from(Some("  "), 4), Ok(4));
+        assert_eq!(partitions_from(Some("4"), 2), Ok(4));
+        assert_eq!(partitions_from(Some(" 8 "), 2), Ok(8));
+        for bad in ["0", "-1", "two", "3.5", "1e2"] {
+            let err = partitions_from(Some(bad), 2).unwrap_err();
+            assert!(err.contains("QCC_PARTITIONS"), "{err}");
             assert!(err.contains(bad), "error must name the value: {err}");
         }
     }

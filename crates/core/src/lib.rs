@@ -52,6 +52,7 @@ pub mod frontend;
 pub mod handopt;
 pub mod instr;
 pub mod mapping;
+pub mod partition;
 pub mod passes;
 pub mod persist;
 pub mod pipeline;
@@ -63,6 +64,10 @@ pub mod verify;
 pub use aggregate::{AggregationOptions, AggregationStats};
 pub use instr::{AggregateInstruction, InstructionOrigin};
 pub use mapping::Layout;
+pub use partition::{
+    partition_circuit, LogicalPartition, LogicalRegion, PartitionOptions, PartitionPass,
+    PartitionPlan, PartitionSummary, RegionTelemetry,
+};
 pub use passes::{
     CompileError, GatePricing, Pass, PassContext, PassReport, PassState, Pipeline, PipelineBuilder,
 };
@@ -74,8 +79,8 @@ pub use pipeline::{
 pub use qcc_hw::{Backend, PersistError, PersistentCache, PricingStats};
 pub use schedule::{asap_schedule, Schedule, ScheduledInstruction};
 pub use service::fleet::{
-    CandidateQuote, Fleet, FleetBackendStats, FleetSubmitOptions, FleetTicket, Relocation,
-    RoutingDecision, DEFAULT_RELOCATION_HYSTERESIS_NS,
+    CandidateQuote, Fleet, FleetBackendStats, FleetSubmitOptions, FleetTicket,
+    PartitionedSubmission, Relocation, RoutingDecision, DEFAULT_RELOCATION_HYSTERESIS_NS,
 };
 pub use service::queue::{
     PassProgress, Priority, ServeConfig, ServeHandle, ServiceError, SubmitOptions, Ticket,

@@ -105,6 +105,23 @@ impl FleetSubmitOptions {
     }
 }
 
+/// A wide circuit fanned out across the fleet as independently routable
+/// region sub-circuits ([`Fleet::submit_partitioned`]): one ticket per
+/// non-empty region, plus the explicit cross-region cut set the caller owns.
+#[derive(Debug)]
+pub struct PartitionedSubmission {
+    /// One claim ticket per submitted region, aligned with `regions`.
+    pub tickets: Vec<FleetTicket>,
+    /// The submitted regions: original qubit sets and the compacted
+    /// sub-circuits the tickets compile.
+    pub regions: Vec<crate::partition::LogicalRegion>,
+    /// Every gate straddling two regions, on the original qubit indices —
+    /// not submitted anywhere; scheduling the seams is the caller's call.
+    pub cut: Circuit,
+    /// Total interaction-graph weight crossing region boundaries.
+    pub cut_weight: f64,
+}
+
 /// One candidate backend's quote inside a [`RoutingDecision`]: what the cost
 /// model estimated, what was already queued, and the resulting score.
 #[derive(Debug, Clone, PartialEq)]
@@ -424,6 +441,45 @@ impl<'b> Fleet<'b> {
         });
         self.rebalance();
         ticket
+    }
+
+    /// Cuts a wide circuit into `partition.regions` weakly coupled regions
+    /// ([`crate::partition::partition_circuit`]) and submits each non-empty
+    /// region's compacted sub-circuit as its own cost-routed request — one
+    /// wide circuit fans out across the fleet's backends, each region placed
+    /// wherever the cost model quotes cheapest (regions inherit `submit`'s
+    /// priority/pin).
+    ///
+    /// This is the estimation/fan-out mode: the returned
+    /// [`PartitionedSubmission`] pairs every ticket with its region's original
+    /// qubits and hands back the cross-region `cut` circuit explicitly —
+    /// nothing is silently dropped, and no claim is made that the per-region
+    /// results compose into one schedule (the caller owns pricing the seams;
+    /// for a single-device compile with stitched-schedule equivalence
+    /// guarantees use [`Compiler::compile_partitioned`] instead).
+    pub fn submit_partitioned(
+        &mut self,
+        circuit: &Circuit,
+        options: &CompilerOptions,
+        partition: &crate::partition::PartitionOptions,
+        submit: FleetSubmitOptions,
+    ) -> PartitionedSubmission {
+        let plan = crate::partition::partition_circuit(circuit, partition.regions);
+        let mut tickets = Vec::new();
+        let mut regions = Vec::new();
+        for region in plan.regions {
+            if region.circuit.is_empty() {
+                continue;
+            }
+            tickets.push(self.submit_with(&region.circuit, options, submit.clone()));
+            regions.push(region);
+        }
+        PartitionedSubmission {
+            tickets,
+            regions,
+            cut: plan.cut,
+            cut_weight: plan.cut_weight,
+        }
     }
 
     /// Re-weights one backend at runtime — the SHIFT-style "availability
