@@ -1,10 +1,19 @@
-//! Criterion micro-benchmarks of the optimal-control unit: cost of one GRAPE
-//! gradient evaluation and of a full single-qubit pulse optimization.
+//! Micro-benchmarks of the numeric layer: the kernel bench matrix (dense
+//! complex matmul and `expm` at n = 8/64/256/1024, scalar vs blocked vs AVX2)
+//! plus the original GRAPE cases (one-qubit Hadamard and two-qubit iSWAP
+//! optimizations). The kernel matrix records every cell through the shared
+//! timing log, so `QCC_BENCH_JSON` lands the per-tier kernel timings in the
+//! committed performance trajectory alongside the whole-compile numbers.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use criterion::{criterion_group, Criterion};
+use qcc_bench::{record_compile_timing, render_table, scale_from_env, write_bench_json};
 use qcc_control::{optimize_pulse, GrapeConfig, TransmonSystem};
+use qcc_core::Strategy;
 use qcc_hw::ControlLimits;
-use qcc_math::pauli;
+use qcc_math::kernels::avx2_supported;
+use qcc_math::{expm, matmul_with, pauli, CMatrix, ExpmWorkspace, MatmulKernel, MatmulWorkspace};
+use qcc_workloads::SuiteScale;
+use std::time::Instant;
 
 fn bench_single_qubit_grape(c: &mut Criterion) {
     let system = TransmonSystem::new(1, &[], ControlLimits::asplos19());
@@ -36,4 +45,142 @@ criterion_group!(
     config = Criterion::default().sample_size(10);
     targets = bench_single_qubit_grape, bench_two_qubit_grape
 );
-criterion_main!(grape);
+
+/// Deterministic pseudo-random matrix (xorshift64*) so every tier multiplies
+/// the same operands without pulling a rand dependency into the bench.
+fn demo_matrix(n: usize, mut state: u64) -> CMatrix {
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        // Map to [-1, 1); the magnitude keeps expm's Padé scaling bounded.
+        (state as f64 / u64::MAX as f64) * 2.0 - 1.0
+    };
+    let mut m = CMatrix::zeros(n, n);
+    let scale = 1.0 / n as f64;
+    for i in 0..n {
+        for j in 0..n {
+            m[(i, j)] = qcc_math::c64(next() * scale, next() * scale);
+        }
+    }
+    m
+}
+
+/// Best-of-`samples` wall-clock seconds of `routine`.
+fn best_of<F: FnMut()>(samples: usize, mut routine: F) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..samples.max(1) {
+        let start = Instant::now();
+        routine();
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    best
+}
+
+/// Tiers measured on this host, in reporting order.
+fn tiers() -> Vec<MatmulKernel> {
+    let mut tiers = vec![MatmulKernel::Scalar, MatmulKernel::Blocked];
+    if avx2_supported() {
+        tiers.push(MatmulKernel::Avx2);
+    }
+    tiers
+}
+
+fn sample_count(n: usize) -> usize {
+    match n {
+        0..=64 => 5,
+        65..=256 => 3,
+        _ => 1,
+    }
+}
+
+/// Runs the matmul half of the kernel matrix, returning one table row per
+/// size: `[n, scalar s, tier s + speedup, ...]`.
+fn matmul_matrix(sizes: &[usize]) -> Vec<Vec<String>> {
+    let mut rows = Vec::new();
+    for &n in sizes {
+        let a = demo_matrix(n, 0x9e3779b97f4a7c15 ^ n as u64);
+        let b = demo_matrix(n, 0xd1b54a32d192ed03 ^ n as u64);
+        let mut out = CMatrix::zeros(n, n);
+        let mut row = vec![format!("{n}")];
+        let mut scalar_s = 0.0;
+        for kernel in tiers() {
+            let mut ws = MatmulWorkspace::with_kernel(kernel);
+            let secs = best_of(sample_count(n), || matmul_with(&a, &b, &mut out, &mut ws));
+            record_compile_timing(
+                &format!("matmul-n{n}-{}", kernel.name()),
+                Strategy::IsaBaseline,
+                secs,
+            );
+            if kernel == MatmulKernel::Scalar {
+                scalar_s = secs;
+                row.push(format!("{secs:.6}"));
+            } else {
+                row.push(format!("{secs:.6} ({:.2}x)", scalar_s / secs));
+            }
+        }
+        rows.push(row);
+    }
+    rows
+}
+
+/// Runs the expm half of the kernel matrix (same row shape as the matmul
+/// half).
+fn expm_matrix(sizes: &[usize]) -> Vec<Vec<String>> {
+    let mut rows = Vec::new();
+    for &n in sizes {
+        let h = demo_matrix(n, 0x2545f4914f6cdd1d ^ n as u64);
+        let mut row = vec![format!("{n}")];
+        let mut scalar_s = 0.0;
+        for kernel in tiers() {
+            let mut ws = ExpmWorkspace::with_kernel(kernel);
+            let secs = best_of(sample_count(n), || {
+                let _ = expm::expm_with(&h, &mut ws);
+            });
+            record_compile_timing(
+                &format!("expm-n{n}-{}", kernel.name()),
+                Strategy::IsaBaseline,
+                secs,
+            );
+            if kernel == MatmulKernel::Scalar {
+                scalar_s = secs;
+                row.push(format!("{secs:.6}"));
+            } else {
+                row.push(format!("{secs:.6} ({:.2}x)", scalar_s / secs));
+            }
+        }
+        rows.push(row);
+    }
+    rows
+}
+
+fn kernel_matrix() {
+    let reduced = matches!(scale_from_env(), SuiteScale::Reduced);
+    let (matmul_sizes, expm_sizes): (&[usize], &[usize]) = if reduced {
+        (&[8, 64, 256], &[8, 64])
+    } else {
+        (&[8, 64, 256, 1024], &[8, 64, 256])
+    };
+
+    let mut headers = vec!["n", "scalar s"];
+    for kernel in tiers().into_iter().skip(1) {
+        headers.push(match kernel {
+            MatmulKernel::Blocked => "blocked s (speedup)",
+            MatmulKernel::Avx2 => "avx2 s (speedup)",
+            MatmulKernel::Scalar => unreachable!("scalar is the reference column"),
+        });
+    }
+    if !avx2_supported() {
+        println!("(avx2 tier skipped: not supported on this host)");
+    }
+    println!("kernel matrix: complex matmul, best-of-sample seconds");
+    println!("{}", render_table(&headers, &matmul_matrix(matmul_sizes)));
+    println!("kernel matrix: expm, best-of-sample seconds");
+    println!("{}", render_table(&headers, &expm_matrix(expm_sizes)));
+}
+
+fn main() {
+    kernel_matrix();
+    grape();
+    write_bench_json("grape_micro");
+}

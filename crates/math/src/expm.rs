@@ -6,6 +6,7 @@
 //! `exp(-i·H·t)` is provided as well.
 
 use crate::complex::C64;
+use crate::kernels::{matmul_with, MatmulKernel, MatmulWorkspace};
 use crate::linalg::{solve_matrix, LinalgError};
 use crate::matrix::CMatrix;
 
@@ -34,7 +35,10 @@ const PADE13: [f64; 14] = [
 /// many same-dimension matrices — the per-step propagators of a GRAPE
 /// iteration — reallocates nothing between calls
 /// ([`expm_with`]/[`try_expm_with`]). A fresh workspace starts empty; buffers
-/// are shaped on first use.
+/// are shaped on first use. Every matrix product of the evaluation routes
+/// through the workspace's [`MatmulWorkspace`], i.e. the tiered kernel engine
+/// of [`crate::kernels`] (process-wide [`crate::kernels::selected_kernel`]
+/// tier by default, or a tier pinned with [`ExpmWorkspace::with_kernel`]).
 #[derive(Debug, Default)]
 pub struct ExpmWorkspace {
     scaled: CMatrix,
@@ -47,12 +51,28 @@ pub struct ExpmWorkspace {
     v: CMatrix,
     id: CMatrix,
     square: CMatrix,
+    mm: MatmulWorkspace,
 }
 
 impl ExpmWorkspace {
     /// An empty workspace (buffers are allocated lazily by the first call).
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// A workspace whose matrix products are pinned to `kernel` at every
+    /// size (used by the equivalence tests and the kernel bench matrix).
+    pub fn with_kernel(kernel: MatmulKernel) -> Self {
+        Self {
+            mm: MatmulWorkspace::with_kernel(kernel),
+            ..Self::default()
+        }
+    }
+
+    /// The matmul workspace (kernel tier, time and call counters) backing
+    /// this expm scratch.
+    pub fn matmul_workspace(&self) -> &MatmulWorkspace {
+        &self.mm
     }
 }
 
@@ -120,9 +140,9 @@ pub fn try_expm_with(a: &CMatrix, ws: &mut ExpmWorkspace) -> Result<CMatrix, Lin
         a
     };
 
-    a1.matmul_into(a1, &mut ws.a2);
-    ws.a2.matmul_into(&ws.a2, &mut ws.a4);
-    ws.a2.matmul_into(&ws.a4, &mut ws.a6);
+    matmul_with(a1, a1, &mut ws.a2, &mut ws.mm);
+    matmul_with(&ws.a2, &ws.a2, &mut ws.a4, &mut ws.mm);
+    matmul_with(&ws.a2, &ws.a4, &mut ws.a6, &mut ws.mm);
     if ws.id.rows() != n {
         ws.id = CMatrix::identity(n);
     }
@@ -136,9 +156,9 @@ pub fn try_expm_with(a: &CMatrix, ws: &mut ExpmWorkspace) -> Result<CMatrix, Lin
     ws.tail.add_scaled(&ws.a4, C64::real(b[5]));
     ws.tail.add_scaled(&ws.a2, C64::real(b[3]));
     ws.tail.add_scaled(&ws.id, C64::real(b[1]));
-    ws.a6.matmul_into(&ws.poly, &mut ws.square);
+    matmul_with(&ws.a6, &ws.poly, &mut ws.square, &mut ws.mm);
     ws.square += &ws.tail;
-    a1.matmul_into(&ws.square, &mut ws.u);
+    matmul_with(a1, &ws.square, &mut ws.u, &mut ws.mm);
 
     // V = A6*(b12*A6 + b10*A4 + b8*A2) + b6*A6 + b4*A4 + b2*A2 + b0*I
     ws.poly.scale_into(&ws.a6, C64::real(b[12]));
@@ -148,7 +168,7 @@ pub fn try_expm_with(a: &CMatrix, ws: &mut ExpmWorkspace) -> Result<CMatrix, Lin
     ws.tail.add_scaled(&ws.a4, C64::real(b[4]));
     ws.tail.add_scaled(&ws.a2, C64::real(b[2]));
     ws.tail.add_scaled(&ws.id, C64::real(b[0]));
-    ws.a6.matmul_into(&ws.poly, &mut ws.v);
+    matmul_with(&ws.a6, &ws.poly, &mut ws.v, &mut ws.mm);
     ws.v += &ws.tail;
 
     // exp(A) ≈ (V - U)^{-1} (V + U): build V+U in `poly` and V-U in `tail`.
@@ -158,7 +178,7 @@ pub fn try_expm_with(a: &CMatrix, ws: &mut ExpmWorkspace) -> Result<CMatrix, Lin
     ws.tail -= &ws.u;
     let mut result = solve_matrix(&ws.tail, &ws.poly)?;
     for _ in 0..squarings {
-        result.matmul_into(&result, &mut ws.square);
+        matmul_with(&result, &result, &mut ws.square, &mut ws.mm);
         std::mem::swap(&mut result, &mut ws.square);
     }
     Ok(result)

@@ -1,0 +1,623 @@
+//! Tiered numeric kernels for the dense complex matmul hot path.
+//!
+//! Every GRAPE-priced compile bottoms out in chains of [`CMatrix`] products
+//! (the propagator products of a gradient iteration, the Padé polynomial of
+//! `expm`), so this module rebuilds that one operation as a three-tier engine
+//! while keeping every tier **bit-identical** to the original scalar loop:
+//!
+//! * **`scalar`** — the reference ikj loop of [`CMatrix::matmul_into`]:
+//!   row-major AoS `Vec<C64>`, per-element accumulation in increasing-`k`
+//!   order, zero rows of the left operand skipped.
+//! * **`blocked`** — cache-blocked over j/k tiles with the right operand
+//!   packed into contiguous split re/im planes ("SoA") at tile-pack time.
+//!   The inner loop becomes four independent unit-stride `f64` streams that
+//!   the autovectorizer turns into packed mul/add (SSE2 at the default
+//!   target), with no FMA contraction — Rust never fuses `a*b + c` — so each
+//!   per-element operation is the same IEEE op the scalar tier performs.
+//! * **`avx2`** — the same blocked/SoA structure with the inner loop written
+//!   in explicit 256-bit `std::arch` intrinsics (`_mm256_mul_pd` /
+//!   `_mm256_add_pd` / `_mm256_sub_pd`; deliberately *not* `fmadd`, which
+//!   would change rounding). Compiled on `x86_64` only and selected only when
+//!   `is_x86_feature_detected!("avx2")` holds at runtime.
+//!
+//! # Bit-identity argument
+//!
+//! For a fixed output element `(i, j)` the scalar loop accumulates
+//! `out[i][j] += a[i][k] * b[k][j]` for `k = 0, 1, …` in increasing order,
+//! skipping `k` where `a[i][k]` is exactly zero, and each step performs the
+//! complex-multiply-accumulate as six scalar IEEE ops in a fixed order
+//! (`re·re`, `im·im`, sub, `re·im`, `im·re`, add, then the two accumulating
+//! adds). The blocked tiers visit k-blocks in increasing order and `k` within
+//! each block in increasing order, so the per-element `k` sequence — and the
+//! zero-skip decisions, which depend only on `a[i][k]` — are unchanged; the
+//! split-plane representation changes *where* `b[k][j]` is loaded from, not
+//! the value or the operations. Vector lanes map to distinct `j` columns, and
+//! IEEE arithmetic is deterministic per lane, so the SIMD tier computes the
+//! same bit pattern as the scalar tier. The proptests in
+//! `tests/kernel_equivalence.rs` pin this with `to_bits()` equality.
+//!
+//! # Dispatch
+//!
+//! [`selected_kernel`] picks the process-wide default tier once: the
+//! `QCC_KERNEL` environment variable (`scalar` / `blocked` / `avx2` / `auto`,
+//! strictly parsed — a typo or an `avx2` request on hardware without AVX2 is
+//! a loud startup error naming the value, like `QCC_THREADS`) or, unset, the
+//! best tier the host supports. [`MatmulWorkspace::new`] inherits that
+//! selection and additionally falls back to the scalar tier for small
+//! products (fewer than [`SMALL_PRODUCT_FLOPS`] multiply-accumulates), where
+//! tile packing costs more than it saves; [`MatmulWorkspace::with_kernel`]
+//! pins a tier exactly — no size fallback — which is what the equivalence
+//! tests and the kernel bench matrix use.
+
+use crate::matrix::CMatrix;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+use std::time::Instant;
+
+/// One tier of the matmul engine. All tiers produce bit-identical results;
+/// they differ only in speed (see the module docs for the argument).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MatmulKernel {
+    /// Reference scalar ikj loop over the row-major AoS storage.
+    Scalar,
+    /// Cache-blocked tiles over packed split re/im planes; relies on the
+    /// autovectorizer for SIMD at whatever width the target baseline allows.
+    Blocked,
+    /// Blocked tiles with an explicit 256-bit AVX2 inner loop (`x86_64` with
+    /// runtime-detected AVX2 only).
+    Avx2,
+}
+
+impl MatmulKernel {
+    /// Canonical lower-case name, as accepted by `QCC_KERNEL`.
+    pub fn name(self) -> &'static str {
+        match self {
+            MatmulKernel::Scalar => "scalar",
+            MatmulKernel::Blocked => "blocked",
+            MatmulKernel::Avx2 => "avx2",
+        }
+    }
+}
+
+impl std::fmt::Display for MatmulKernel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Returns `true` when the running CPU supports the AVX2 tier.
+pub fn avx2_supported() -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        std::arch::is_x86_feature_detected!("avx2")
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        false
+    }
+}
+
+/// Pure parsing unit behind [`selected_kernel`]: `None` or an empty or
+/// whitespace value (or `auto`) selects the best tier `avx2_supported`
+/// allows; otherwise the value must name a tier, case-insensitively, and the
+/// error names the offending value. Requesting `avx2` on a host without AVX2
+/// is an error, not a silent downgrade — a pinned kernel that cannot run must
+/// fail loudly.
+pub fn kernel_from(value: Option<&str>, avx2_supported: bool) -> Result<MatmulKernel, String> {
+    let auto = || {
+        if avx2_supported {
+            MatmulKernel::Avx2
+        } else {
+            MatmulKernel::Blocked
+        }
+    };
+    let Some(raw) = value else {
+        return Ok(auto());
+    };
+    let trimmed = raw.trim();
+    if trimmed.is_empty() {
+        return Ok(auto());
+    }
+    match trimmed.to_ascii_lowercase().as_str() {
+        "auto" => Ok(auto()),
+        "scalar" => Ok(MatmulKernel::Scalar),
+        "blocked" => Ok(MatmulKernel::Blocked),
+        "avx2" if avx2_supported => Ok(MatmulKernel::Avx2),
+        "avx2" => Err(format!(
+            "invalid QCC_KERNEL value '{raw}': the avx2 kernel is not supported on this host"
+        )),
+        _ => Err(format!(
+            "invalid QCC_KERNEL value '{raw}': expected scalar, blocked, avx2, or auto"
+        )),
+    }
+}
+
+/// The process-wide kernel selection: `QCC_KERNEL` if set (strictly parsed),
+/// otherwise the best tier the host supports. Resolved once and cached.
+///
+/// # Panics
+///
+/// Panics with a message naming the offending value when `QCC_KERNEL` is set
+/// to an unknown tier or to `avx2` on hardware without AVX2.
+pub fn selected_kernel() -> MatmulKernel {
+    static SELECTED: OnceLock<MatmulKernel> = OnceLock::new();
+    *SELECTED.get_or_init(|| {
+        kernel_from(
+            std::env::var("QCC_KERNEL").ok().as_deref(),
+            avx2_supported(),
+        )
+        .unwrap_or_else(|e| panic!("{e}"))
+    })
+}
+
+/// Products smaller than this many complex multiply-accumulates (`m·p·n`)
+/// run the scalar tier under automatic dispatch: below it, packing tiles into
+/// planes costs more than the streaming wins. `16³` puts the crossover at a
+/// 16×16 product — four-qubit unitaries and up engage the blocked tiers.
+pub const SMALL_PRODUCT_FLOPS: usize = 16 * 16 * 16;
+
+/// Cache budget the block sizes are derived from: half of a conservative
+/// 512 KiB L2, so the packed tile plus the output row segments it streams
+/// against stay resident while every row of the left operand visits the tile.
+const TILE_CACHE_BYTES: usize = 512 * 1024 / 2;
+
+/// Columns per tile. Sized so one output row segment (re + im planes) spans a
+/// handful of cache lines — long enough to amortize the per-`(i,k)` setup,
+/// short enough to leave the budget to the packed right-operand tile.
+const BLOCK_J: usize = 128;
+
+/// Rows of the right operand per tile, derived from the cache budget: the
+/// packed tile holds `BLOCK_K × BLOCK_J` complex entries as two f64 planes.
+const BLOCK_K: usize = TILE_CACHE_BYTES / (2 * 8 * BLOCK_J); // = 128
+
+/// Nanoseconds spent inside [`matmul_with`] across the whole process (every
+/// workspace, every thread). End-to-end benches read deltas of this to
+/// attribute a compile's wall clock to the kernel tier.
+static TOTAL_KERNEL_NANOS: AtomicU64 = AtomicU64::new(0);
+
+/// Total time spent inside the matmul kernels since process start, in
+/// seconds. `expm` and the GRAPE propagator chain route their products
+/// through [`matmul_with`], so this is the "GRAPE kernel seconds" of a
+/// compile (the LU solve of `expm` is the only numeric cost it misses).
+/// Under concurrent compiles the counter aggregates across threads.
+pub fn total_kernel_seconds() -> f64 {
+    TOTAL_KERNEL_NANOS.load(Ordering::Relaxed) as f64 * 1e-9
+}
+
+/// Reusable scratch of the blocked tiers plus the kernel-time counter: the
+/// packed right-operand tile planes, the split-plane output accumulators, and
+/// the per-workspace nanosecond/call counters. One workspace serves any
+/// number of products of any shapes; buffers grow to the largest shape seen.
+#[derive(Debug)]
+pub struct MatmulWorkspace {
+    kernel: MatmulKernel,
+    /// `false` for [`with_kernel`](Self::with_kernel) workspaces: the pinned
+    /// tier runs at every size, with no small-product scalar fallback.
+    auto_small_fallback: bool,
+    /// Packed right-operand tile, real plane (`BLOCK_K × BLOCK_J` max).
+    bre: Vec<f64>,
+    /// Packed right-operand tile, imaginary plane.
+    bim: Vec<f64>,
+    /// Output accumulator, real plane (`rows × cols` of the product).
+    ore: Vec<f64>,
+    /// Output accumulator, imaginary plane.
+    oim: Vec<f64>,
+    nanos: u64,
+    calls: u64,
+}
+
+impl Default for MatmulWorkspace {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl MatmulWorkspace {
+    /// A workspace on the process-wide [`selected_kernel`], with the
+    /// small-product scalar fallback enabled.
+    pub fn new() -> Self {
+        Self {
+            kernel: selected_kernel(),
+            auto_small_fallback: true,
+            bre: Vec::new(),
+            bim: Vec::new(),
+            ore: Vec::new(),
+            oim: Vec::new(),
+            nanos: 0,
+            calls: 0,
+        }
+    }
+
+    /// A workspace pinned to `kernel` at every product size (no small-product
+    /// fallback) — the form the equivalence tests and the kernel bench matrix
+    /// use to exercise a tier exactly.
+    pub fn with_kernel(kernel: MatmulKernel) -> Self {
+        Self {
+            kernel,
+            auto_small_fallback: false,
+            ..Self::new()
+        }
+    }
+
+    /// The tier this workspace dispatches to (before the small-product
+    /// fallback, if enabled).
+    pub fn kernel(&self) -> MatmulKernel {
+        self.kernel
+    }
+
+    /// Time spent inside [`matmul_with`] through this workspace, in seconds.
+    pub fn kernel_seconds(&self) -> f64 {
+        self.nanos as f64 * 1e-9
+    }
+
+    /// Number of products computed through this workspace.
+    pub fn calls(&self) -> u64 {
+        self.calls
+    }
+
+    /// The tier a product of `flops = m·p·n` multiply-accumulates will run.
+    fn effective_kernel(&self, flops: usize) -> MatmulKernel {
+        if self.auto_small_fallback && flops < SMALL_PRODUCT_FLOPS {
+            MatmulKernel::Scalar
+        } else {
+            self.kernel
+        }
+    }
+}
+
+/// Writes `a * b` into `out` through the workspace's kernel tier. Results are
+/// bit-for-bit identical to [`CMatrix::matmul_into`] on every tier (see the
+/// module docs); `a` and `b` may alias each other (squaring) but neither may
+/// alias `out`. Time spent is added to the workspace counter and the
+/// process-wide total ([`total_kernel_seconds`]).
+///
+/// # Panics
+///
+/// Panics on inner-dimension mismatch or when `out` aliases an operand.
+pub fn matmul_with(a: &CMatrix, b: &CMatrix, out: &mut CMatrix, ws: &mut MatmulWorkspace) {
+    let started = Instant::now();
+    let flops = a.rows() * a.cols() * b.cols();
+    match ws.effective_kernel(flops) {
+        MatmulKernel::Scalar => a.matmul_into(b, out),
+        MatmulKernel::Blocked => matmul_blocked(a, b, out, ws, false),
+        MatmulKernel::Avx2 => matmul_blocked(a, b, out, ws, true),
+    }
+    let elapsed = started.elapsed().as_nanos() as u64;
+    ws.nanos += elapsed;
+    ws.calls += 1;
+    TOTAL_KERNEL_NANOS.fetch_add(elapsed, Ordering::Relaxed);
+}
+
+/// The blocked/SoA tiers: j/k tiling with the right operand packed into
+/// contiguous re/im planes per tile and the output accumulated in full-size
+/// planes, interleaved back into `out` once at the end. `use_avx2` switches
+/// the inner loop between the autovectorizable scalar form and the explicit
+/// 256-bit intrinsics; everything else is shared.
+fn matmul_blocked(
+    a: &CMatrix,
+    b: &CMatrix,
+    out: &mut CMatrix,
+    ws: &mut MatmulWorkspace,
+    use_avx2: bool,
+) {
+    assert_eq!(a.cols(), b.rows(), "matmul dimension mismatch");
+    assert!(
+        !std::ptr::eq(a, out) && !std::ptr::eq(b, out),
+        "matmul_with: `out` must not alias an operand"
+    );
+    let (m, p, n) = (a.rows(), a.cols(), b.cols());
+
+    ws.ore.clear();
+    ws.ore.resize(m * n, 0.0);
+    ws.oim.clear();
+    ws.oim.resize(m * n, 0.0);
+    ws.bre.resize(BLOCK_K * BLOCK_J.min(n.max(1)), 0.0);
+    ws.bim.resize(BLOCK_K * BLOCK_J.min(n.max(1)), 0.0);
+
+    let a_data = a.as_slice();
+    let b_data = b.as_slice();
+
+    let mut jb = 0;
+    while jb < n {
+        let bj = BLOCK_J.min(n - jb);
+        // k-blocks strictly ascending: together with the ascending `kk` loop
+        // below this reproduces the scalar tier's per-element k order.
+        let mut kb = 0;
+        while kb < p {
+            let bk = BLOCK_K.min(p - kb);
+            // Pack the `bk × bj` tile of `b` into contiguous re/im planes.
+            for kk in 0..bk {
+                let src = &b_data[(kb + kk) * n + jb..(kb + kk) * n + jb + bj];
+                let dst_re = &mut ws.bre[kk * bj..(kk + 1) * bj];
+                let dst_im = &mut ws.bim[kk * bj..(kk + 1) * bj];
+                for ((dr, di), s) in dst_re.iter_mut().zip(dst_im.iter_mut()).zip(src) {
+                    *dr = s.re;
+                    *di = s.im;
+                }
+            }
+            for i in 0..m {
+                let a_row = &a_data[i * p + kb..i * p + kb + bk];
+                let o_re = &mut ws.ore[i * n + jb..i * n + jb + bj];
+                let o_im = &mut ws.oim[i * n + jb..i * n + jb + bj];
+                for (kk, &aik) in a_row.iter().enumerate() {
+                    // Same skip as the scalar tier: it depends only on
+                    // a[i][k], so every j lane skips together.
+                    if aik.re == 0.0 && aik.im == 0.0 {
+                        continue;
+                    }
+                    let b_re = &ws.bre[kk * bj..(kk + 1) * bj];
+                    let b_im = &ws.bim[kk * bj..(kk + 1) * bj];
+                    if use_avx2 {
+                        // SAFETY: `use_avx2` is only set by kernel selection
+                        // paths that verified AVX2 at runtime (or by an
+                        // explicit `with_kernel(Avx2)` on such a host).
+                        #[cfg(target_arch = "x86_64")]
+                        unsafe {
+                            axpy_avx2(aik.re, aik.im, b_re, b_im, o_re, o_im);
+                        }
+                        #[cfg(not(target_arch = "x86_64"))]
+                        axpy_planes(aik.re, aik.im, b_re, b_im, o_re, o_im);
+                    } else {
+                        axpy_planes(aik.re, aik.im, b_re, b_im, o_re, o_im);
+                    }
+                }
+            }
+            kb += bk;
+        }
+        jb += bj;
+    }
+
+    // Interleave the planes back into the AoS output.
+    reshape_for_product(out, m, n);
+    for ((o, &re), &im) in out
+        .as_mut_slice()
+        .iter_mut()
+        .zip(ws.ore.iter())
+        .zip(ws.oim.iter())
+    {
+        o.re = re;
+        o.im = im;
+    }
+}
+
+/// Reshapes `out` to `m × n` reusing its allocation and without zero-filling
+/// (the plane interleave overwrites every entry).
+fn reshape_for_product(out: &mut CMatrix, m: usize, n: usize) {
+    if out.rows() != m || out.cols() != n {
+        out.reshape_raw(m, n);
+    }
+}
+
+/// One rank-1 update row over split planes:
+/// `o[j] += (are + i·aim) · (br[j] + i·bim[j])` with exactly the scalar
+/// tier's operation order per element — `re·re`, `im·im`, sub; `re·im`,
+/// `im·re`, add; then the two accumulating adds. Four independent unit-stride
+/// streams; the autovectorizer packs them at the target's native width, and
+/// Rust performs no FMA contraction, so each lane is bit-identical to the
+/// scalar ops.
+#[inline]
+fn axpy_planes(are: f64, aim: f64, b_re: &[f64], b_im: &[f64], o_re: &mut [f64], o_im: &mut [f64]) {
+    for (((or, oi), &br), &bi) in o_re
+        .iter_mut()
+        .zip(o_im.iter_mut())
+        .zip(b_re.iter())
+        .zip(b_im.iter())
+    {
+        let t_re = are * br - aim * bi;
+        let t_im = are * bi + aim * br;
+        *or += t_re;
+        *oi += t_im;
+    }
+}
+
+/// [`axpy_planes`] with an explicit 256-bit AVX2 body: `_mm256_mul_pd`,
+/// `_mm256_sub_pd`, `_mm256_add_pd` — one IEEE operation per scalar op of the
+/// reference loop, deliberately *no* `fmadd` (fusing the multiply-add would
+/// change rounding and break bit-identity). The tail shorter than a vector
+/// runs the scalar form.
+///
+/// # Safety
+///
+/// The caller must have verified AVX2 support at runtime
+/// (`is_x86_feature_detected!("avx2")`).
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn axpy_avx2(
+    are: f64,
+    aim: f64,
+    b_re: &[f64],
+    b_im: &[f64],
+    o_re: &mut [f64],
+    o_im: &mut [f64],
+) {
+    use std::arch::x86_64::{
+        _mm256_add_pd, _mm256_loadu_pd, _mm256_mul_pd, _mm256_set1_pd, _mm256_storeu_pd,
+        _mm256_sub_pd,
+    };
+    let n = o_re.len();
+    let va_re = _mm256_set1_pd(are);
+    let va_im = _mm256_set1_pd(aim);
+    let lanes = n - n % 4;
+    let mut j = 0;
+    while j < lanes {
+        // SAFETY: `j + 4 <= lanes <= n` bounds every pointer below.
+        unsafe {
+            let vb_re = _mm256_loadu_pd(b_re.as_ptr().add(j));
+            let vb_im = _mm256_loadu_pd(b_im.as_ptr().add(j));
+            let t_re = _mm256_sub_pd(_mm256_mul_pd(va_re, vb_re), _mm256_mul_pd(va_im, vb_im));
+            let t_im = _mm256_add_pd(_mm256_mul_pd(va_re, vb_im), _mm256_mul_pd(va_im, vb_re));
+            let vo_re = _mm256_loadu_pd(o_re.as_ptr().add(j));
+            let vo_im = _mm256_loadu_pd(o_im.as_ptr().add(j));
+            _mm256_storeu_pd(o_re.as_mut_ptr().add(j), _mm256_add_pd(vo_re, t_re));
+            _mm256_storeu_pd(o_im.as_mut_ptr().add(j), _mm256_add_pd(vo_im, t_im));
+        }
+        j += 4;
+    }
+    axpy_planes(
+        are,
+        aim,
+        &b_re[lanes..],
+        &b_im[lanes..],
+        &mut o_re[lanes..],
+        &mut o_im[lanes..],
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::complex::{c64, C64};
+
+    fn bits(m: &CMatrix) -> Vec<(u64, u64)> {
+        m.as_slice()
+            .iter()
+            .map(|z| (z.re.to_bits(), z.im.to_bits()))
+            .collect()
+    }
+
+    fn demo(rows: usize, cols: usize, seed: f64) -> CMatrix {
+        let mut m = CMatrix::zeros(rows, cols);
+        for i in 0..rows {
+            for j in 0..cols {
+                // Deterministic, irregular, with exact zeros sprinkled in to
+                // exercise the skip path.
+                let v = ((i * cols + j) as f64 * 0.7310 + seed).sin();
+                let w = ((i + 3 * j) as f64 * 1.131 - seed).cos();
+                m[(i, j)] = if (i + j) % 5 == 0 {
+                    C64::zero()
+                } else {
+                    c64(v, w * 0.5)
+                };
+            }
+        }
+        m
+    }
+
+    #[test]
+    fn kernel_parsing_selects_and_rejects() {
+        for avx2 in [false, true] {
+            let auto = if avx2 {
+                MatmulKernel::Avx2
+            } else {
+                MatmulKernel::Blocked
+            };
+            assert_eq!(kernel_from(None, avx2), Ok(auto));
+            assert_eq!(kernel_from(Some(""), avx2), Ok(auto));
+            assert_eq!(kernel_from(Some("  "), avx2), Ok(auto));
+            assert_eq!(kernel_from(Some("auto"), avx2), Ok(auto));
+            assert_eq!(kernel_from(Some("scalar"), avx2), Ok(MatmulKernel::Scalar));
+            assert_eq!(
+                kernel_from(Some(" Blocked "), avx2),
+                Ok(MatmulKernel::Blocked)
+            );
+        }
+        assert_eq!(kernel_from(Some("AVX2"), true), Ok(MatmulKernel::Avx2));
+        for bad in ["sse", "fast", "1", "blockedd"] {
+            let err = kernel_from(Some(bad), true).unwrap_err();
+            assert!(err.contains("QCC_KERNEL"), "{err}");
+            assert!(err.contains(bad), "error must name the value: {err}");
+        }
+    }
+
+    #[test]
+    fn avx2_request_on_unsupported_hardware_errors_naming_the_value() {
+        let err = kernel_from(Some("avx2"), false).unwrap_err();
+        assert!(err.contains("QCC_KERNEL"), "{err}");
+        assert!(err.contains("avx2"), "error must name the value: {err}");
+        assert!(err.contains("not supported"), "{err}");
+    }
+
+    #[test]
+    fn blocked_matches_scalar_bit_for_bit_across_shapes() {
+        // Shapes straddling the block sizes, non-square, degenerate.
+        let shapes = [
+            (1, 1, 1),
+            (2, 3, 4),
+            (7, 1, 9),
+            (16, 16, 16),
+            (31, 17, 129),
+            (5, 140, 3),
+            (130, 129, 131),
+        ];
+        for &(m, p, n) in &shapes {
+            let a = demo(m, p, 0.3);
+            let b = demo(p, n, 1.7);
+            let mut want = CMatrix::zeros(0, 0);
+            a.matmul_into(&b, &mut want);
+            for kernel in [MatmulKernel::Blocked, MatmulKernel::Avx2] {
+                if kernel == MatmulKernel::Avx2 && !avx2_supported() {
+                    continue;
+                }
+                let mut ws = MatmulWorkspace::with_kernel(kernel);
+                let mut got = CMatrix::zeros(3, 2); // wrong shape: must reshape
+                matmul_with(&a, &b, &mut got, &mut ws);
+                assert_eq!(bits(&got), bits(&want), "{kernel} {m}x{p}x{n}");
+            }
+        }
+    }
+
+    #[test]
+    fn squaring_aliases_operands_on_every_tier() {
+        let a = demo(33, 33, 0.9);
+        let mut want = CMatrix::zeros(0, 0);
+        a.matmul_into(&a, &mut want);
+        for kernel in [
+            MatmulKernel::Scalar,
+            MatmulKernel::Blocked,
+            MatmulKernel::Avx2,
+        ] {
+            if kernel == MatmulKernel::Avx2 && !avx2_supported() {
+                continue;
+            }
+            let mut ws = MatmulWorkspace::with_kernel(kernel);
+            let mut got = CMatrix::zeros(0, 0);
+            matmul_with(&a, &a, &mut got, &mut ws);
+            assert_eq!(bits(&got), bits(&want), "{kernel}");
+        }
+    }
+
+    #[test]
+    fn auto_workspace_falls_back_to_scalar_below_the_cutoff() {
+        let ws = MatmulWorkspace::new();
+        assert_eq!(
+            ws.effective_kernel(SMALL_PRODUCT_FLOPS - 1),
+            MatmulKernel::Scalar
+        );
+        assert_eq!(ws.effective_kernel(SMALL_PRODUCT_FLOPS), ws.kernel());
+        let pinned = MatmulWorkspace::with_kernel(MatmulKernel::Blocked);
+        assert_eq!(pinned.effective_kernel(1), MatmulKernel::Blocked);
+    }
+
+    #[test]
+    fn workspace_counts_calls_and_time() {
+        let a = demo(8, 8, 0.1);
+        let mut ws = MatmulWorkspace::with_kernel(MatmulKernel::Blocked);
+        let mut out = CMatrix::zeros(0, 0);
+        let before_total = total_kernel_seconds();
+        matmul_with(&a, &a, &mut out, &mut ws);
+        matmul_with(&a, &a, &mut out, &mut ws);
+        assert_eq!(ws.calls(), 2);
+        assert!(ws.kernel_seconds() >= 0.0);
+        assert!(total_kernel_seconds() >= before_total);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn blocked_dimension_mismatch_panics() {
+        let a = CMatrix::zeros(2, 3);
+        let b = CMatrix::zeros(2, 3);
+        let mut ws = MatmulWorkspace::with_kernel(MatmulKernel::Blocked);
+        let mut out = CMatrix::zeros(0, 0);
+        matmul_with(&a, &b, &mut out, &mut ws);
+    }
+
+    #[test]
+    fn block_sizes_fit_the_cache_budget() {
+        // The packed tile (two f64 planes) must fit the derived budget, and
+        // the k block must be a positive multiple of nothing fancier than the
+        // formula in the docs.
+        const { assert!(BLOCK_K >= 1) };
+        assert_eq!(BLOCK_K, TILE_CACHE_BYTES / (2 * 8 * BLOCK_J));
+        const { assert!(2 * 8 * BLOCK_K * BLOCK_J <= TILE_CACHE_BYTES) };
+    }
+}

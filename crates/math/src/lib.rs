@@ -8,7 +8,10 @@
 //!
 //! The crate is deliberately sized for the regime of the ASPLOS'19 paper this
 //! workspace reproduces: unitaries of at most ten qubits (1024×1024), dense
-//! storage, `f64` precision.
+//! storage, `f64` precision. The matmul hot path is a tiered kernel engine
+//! (see [`kernels`]): a scalar reference loop, a cache-blocked split-plane
+//! tier, and a runtime-dispatched AVX2 tier, all bit-identical by
+//! construction and selectable via `QCC_KERNEL`.
 //!
 //! ## Example
 //!
@@ -26,6 +29,7 @@
 pub mod complex;
 pub mod expm;
 pub mod fidelity;
+pub mod kernels;
 pub mod linalg;
 pub mod matrix;
 pub mod pauli;
@@ -36,6 +40,9 @@ pub use expm::{expm, expm_with, propagator, try_expm, try_expm_with, ExpmWorkspa
 pub use fidelity::{
     average_gate_fidelity, frobenius_distance, gate_fidelity, gate_infidelity,
     phase_invariant_distance, state_fidelity,
+};
+pub use kernels::{
+    matmul_with, selected_kernel, total_kernel_seconds, MatmulKernel, MatmulWorkspace,
 };
 pub use linalg::{det, inverse, solve, solve_matrix, LinalgError, LuDecomposition};
 pub use matrix::CMatrix;

@@ -1,8 +1,14 @@
 //! Dense, row-major complex matrices.
 //!
-//! Sizes in this workspace are at most `2^10 × 2^10` (ten-qubit unitaries), so a
-//! straightforward dense representation with `O(n³)` multiplication is the right
-//! trade-off: simple, cache-friendly, and with no external dependencies.
+//! Sizes in this workspace are at most `2^10 × 2^10` (ten-qubit unitaries),
+//! dense, `f64` precision. Storage is row-major AoS `Vec<C64>` — the layout
+//! every caller sees — but multiplication is tiered: [`CMatrix::matmul_into`]
+//! is the scalar ikj reference loop, and the [`crate::kernels`] module layers
+//! cache-blocked and SIMD tiers on top of it that pack the right operand into
+//! split re/im planes ("SoA") at tile-pack time and are pinned bit-identical
+//! to this reference. Hot paths (`expm`, the GRAPE propagator chain) go
+//! through [`crate::kernels::matmul_with`]; everything else uses the methods
+//! here directly.
 
 use crate::complex::C64;
 use serde::{Deserialize, Serialize};
@@ -246,10 +252,17 @@ impl CMatrix {
             !std::ptr::eq(self, out) && !std::ptr::eq(rhs, out),
             "matmul_into: `out` must not alias an operand"
         );
-        out.rows = self.rows;
-        out.cols = rhs.cols;
-        out.data.clear();
-        out.data.resize(self.rows * rhs.cols, C64::zero());
+        // Reshape only on mismatch; a same-shape reuse (the common case in
+        // the expm/GRAPE workspaces) is a single zero fill, not a clear plus
+        // an element-by-element zero resize.
+        if out.rows != self.rows || out.cols != rhs.cols {
+            out.rows = self.rows;
+            out.cols = rhs.cols;
+            out.data.clear();
+            out.data.resize(self.rows * rhs.cols, C64::zero());
+        } else {
+            out.data.fill(C64::zero());
+        }
         for i in 0..self.rows {
             for k in 0..self.cols {
                 let a = self[(i, k)];
@@ -263,6 +276,15 @@ impl CMatrix {
                 }
             }
         }
+    }
+
+    /// Reshapes to `rows × cols` reusing the allocation, leaving the entry
+    /// values unspecified — for kernel paths that are about to overwrite
+    /// every entry (skipping the zero fill a public reshape would pay).
+    pub(crate) fn reshape_raw(&mut self, rows: usize, cols: usize) {
+        self.rows = rows;
+        self.cols = cols;
+        self.data.resize(rows * cols, C64::zero());
     }
 
     /// Overwrites `self` with a copy of `src`, reusing the allocation.

@@ -3,10 +3,11 @@
 //! The build environment is offline, so this crate supplies the subset of the
 //! criterion API the `qcc-bench` targets use: `Criterion::{default,
 //! sample_size, bench_function}`, `Bencher::iter`, `black_box`, and the
-//! `criterion_group!` / `criterion_main!` macros. Timing is a plain
-//! wall-clock mean over `sample_size` iterations — good enough for the
-//! relative comparisons the experiment benches print, with no statistics,
-//! plotting, or baseline storage.
+//! `criterion_group!` / `criterion_main!` macros. Each of the `sample_size`
+//! iterations is timed individually and the report shows min/median/max over
+//! those samples, so per-PR comparisons are keyed to the min (the least
+//! noise-contaminated estimate) rather than a single wall-clock mean. There
+//! is still no plotting, outlier rejection, or baseline storage.
 
 use std::time::{Duration, Instant};
 
@@ -18,17 +19,54 @@ pub fn black_box<T>(x: T) -> T {
 /// Drives timed iterations inside `bench_function` closures.
 pub struct Bencher {
     iterations: u64,
-    elapsed: Duration,
+    samples: Vec<Duration>,
 }
 
 impl Bencher {
-    /// Times `routine` over this bencher's iteration budget.
+    /// Times `routine` once per iteration of this bencher's budget, recording
+    /// each iteration as its own sample.
     pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
-        let start = Instant::now();
+        self.samples.clear();
+        self.samples.reserve(self.iterations as usize);
         for _ in 0..self.iterations {
+            let start = Instant::now();
             black_box(routine());
+            self.samples.push(start.elapsed());
         }
-        self.elapsed = start.elapsed();
+    }
+}
+
+/// Order statistics over one benchmark's samples, in nanoseconds per
+/// iteration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SampleStats {
+    /// Fastest sample.
+    pub min_ns: f64,
+    /// Median sample (mean of the middle two for even sample counts).
+    pub median_ns: f64,
+    /// Slowest sample.
+    pub max_ns: f64,
+}
+
+impl SampleStats {
+    /// Computes min/median/max over `samples`; `None` when empty.
+    pub fn from_samples(samples: &[Duration]) -> Option<Self> {
+        if samples.is_empty() {
+            return None;
+        }
+        let mut ns: Vec<f64> = samples.iter().map(|d| d.as_nanos() as f64).collect();
+        ns.sort_by(|a, b| a.total_cmp(b));
+        let mid = ns.len() / 2;
+        let median_ns = if ns.len().is_multiple_of(2) {
+            (ns[mid - 1] + ns[mid]) / 2.0
+        } else {
+            ns[mid]
+        };
+        Some(Self {
+            min_ns: ns[0],
+            median_ns,
+            max_ns: ns[ns.len() - 1],
+        })
     }
 }
 
@@ -63,13 +101,20 @@ impl Criterion {
     pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
         let mut b = Bencher {
             iterations: self.sample_size,
-            elapsed: Duration::ZERO,
+            samples: Vec::new(),
         };
         f(&mut b);
-        let mean_ns = b.elapsed.as_nanos() as f64 / b.iterations.max(1) as f64;
+        let stats = SampleStats::from_samples(&b.samples).unwrap_or(SampleStats {
+            min_ns: 0.0,
+            median_ns: 0.0,
+            max_ns: 0.0,
+        });
         println!(
-            "bench: {id:<60} {:>14.1} ns/iter (n={})",
-            mean_ns, b.iterations
+            "bench: {id:<60} {:>14.1} ns/iter (min) median {:>14.1} max {:>14.1} (n={})",
+            stats.min_ns,
+            stats.median_ns,
+            stats.max_ns,
+            b.samples.len()
         );
         self
     }
@@ -101,4 +146,53 @@ macro_rules! criterion_main {
             $($group();)+
         }
     };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_over_odd_sample_count() {
+        let samples = [
+            Duration::from_nanos(30),
+            Duration::from_nanos(10),
+            Duration::from_nanos(20),
+        ];
+        let s = SampleStats::from_samples(&samples).unwrap();
+        assert_eq!(s.min_ns, 10.0);
+        assert_eq!(s.median_ns, 20.0);
+        assert_eq!(s.max_ns, 30.0);
+    }
+
+    #[test]
+    fn stats_over_even_sample_count_average_the_middle_pair() {
+        let samples = [
+            Duration::from_nanos(40),
+            Duration::from_nanos(10),
+            Duration::from_nanos(20),
+            Duration::from_nanos(30),
+        ];
+        let s = SampleStats::from_samples(&samples).unwrap();
+        assert_eq!(s.min_ns, 10.0);
+        assert_eq!(s.median_ns, 25.0);
+        assert_eq!(s.max_ns, 40.0);
+    }
+
+    #[test]
+    fn stats_over_empty_samples_is_none() {
+        assert!(SampleStats::from_samples(&[]).is_none());
+    }
+
+    #[test]
+    fn bencher_records_one_sample_per_iteration() {
+        let mut b = Bencher {
+            iterations: 5,
+            samples: Vec::new(),
+        };
+        let mut count = 0u64;
+        b.iter(|| count += 1);
+        assert_eq!(count, 5);
+        assert_eq!(b.samples.len(), 5);
+    }
 }
